@@ -1,0 +1,125 @@
+package liferaft_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"liferaft"
+)
+
+// TestPublicAPIEndToEnd drives the whole documented surface the way the
+// quickstart does: catalogs, partition, trace, engine, metrics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	local, err := liferaft.NewCatalog(liferaft.CatalogConfig{
+		Name: "sdss", N: 30_000, Seed: 1, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := liferaft.NewDerivedCatalog(local, liferaft.DerivedConfig{
+		Name: "twomass", Seed: 2, Fraction: 0.8,
+		JitterRad: liferaft.ArcsecToRad(1.5), CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := liferaft.NewPartition(local, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcfg := liferaft.DefaultTraceConfig(3)
+	tcfg.NumQueries = 20
+	tcfg.MinSelectivity, tcfg.MaxSelectivity = 0.3, 1.0
+	trace, err := liferaft.GenerateTrace(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []liferaft.Job
+	var offs []time.Duration
+	for i, q := range trace.Queries {
+		jobs = append(jobs, liferaft.Job{
+			ID:      q.ID,
+			Objects: liferaft.MaterializeQuery(q, remote, tcfg.Seed),
+			Pred:    q.Predicate(),
+		})
+		offs = append(offs, time.Duration(i)*200*time.Millisecond)
+	}
+
+	cfg, clk := liferaft.NewVirtualConfig(part, 0.25, true)
+	if clk == nil {
+		t.Fatal("clock missing")
+	}
+	results, stats, err := liferaft.Run(cfg, jobs, offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) || stats.Completed != len(jobs) {
+		t.Fatalf("completed %d of %d", len(results), len(jobs))
+	}
+	matches := 0
+	resp := make([]float64, len(results))
+	for i, r := range results {
+		matches += r.Matches
+		resp[i] = r.ResponseTime().Seconds()
+	}
+	if matches == 0 {
+		t.Fatal("no cross-matches through the public API")
+	}
+	s := liferaft.Summarize(resp)
+	if s.Count != len(results) || math.IsNaN(s.CoV) {
+		t.Fatalf("summary malformed: %+v", s)
+	}
+}
+
+// TestPublicAPIGeometry exercises the geometry and HTM aliases.
+func TestPublicAPIGeometry(t *testing.T) {
+	v := liferaft.FromRaDec(187.5, 12.3)
+	ra, dec := liferaft.ToRaDec(v)
+	if math.Abs(ra-187.5) > 1e-9 || math.Abs(dec-12.3) > 1e-9 {
+		t.Fatalf("round trip = (%v, %v)", ra, dec)
+	}
+	id := liferaft.HTMLookup(v, 14)
+	if !id.Contains(v) {
+		t.Fatal("HTM lookup does not contain point")
+	}
+	cover := liferaft.CoverCap(liferaft.NewCap(v, liferaft.ArcsecToRad(5)), 14)
+	if len(cover) == 0 {
+		t.Fatal("empty cover")
+	}
+	found := false
+	for _, r := range cover {
+		if r.Contains(id) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cover misses the center trixel")
+	}
+}
+
+// TestPublicAPIDiskCalibration verifies the exported disk model carries
+// the paper's constants.
+func TestPublicAPIDiskCalibration(t *testing.T) {
+	m := liferaft.SkyQueryDisk()
+	tb, tm := m.Calibrate(40 << 20)
+	if math.Abs(tb.Seconds()-1.2) > 0.06 {
+		t.Errorf("Tb = %v", tb)
+	}
+	if tm != 130*time.Microsecond {
+		t.Errorf("Tm = %v", tm)
+	}
+}
+
+// TestPublicAPISkewHelpers exercises the metrics aliases.
+func TestPublicAPISkewHelpers(t *testing.T) {
+	ws := []float64{8, 1, 1}
+	cum := liferaft.CumulativeShare(ws)
+	if cum[0] != 0.8 {
+		t.Errorf("share = %v", cum)
+	}
+	if liferaft.RankForShare(ws, 0.5) != 1 {
+		t.Error("rank")
+	}
+}

@@ -1,0 +1,247 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, at CI scale (DESIGN.md §2 maps each to its
+// experiment). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the figure's headline statistic as a custom
+// metric alongside the usual ns/op, so `go test -bench` output doubles as
+// a reproduction summary.
+package liferaft_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"liferaft"
+	"liferaft/internal/core"
+	"liferaft/internal/exper"
+	"liferaft/internal/zones"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *exper.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *exper.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		scale := exper.CI()
+		scale.NumQueries = 400
+		benchEnv, benchErr = exper.NewEnv(scale)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkFig2HybridJoin regenerates the Figure 2 scan-vs-index sweep.
+func BenchmarkFig2HybridJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exper.Fig2(nil)
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig5WorkloadReuse regenerates the Figure 5 top-bucket
+// characterization.
+func BenchmarkFig5WorkloadReuse(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exper.Fig5(e)
+	}
+}
+
+// BenchmarkFig6WorkloadSkew regenerates the Figure 6 cumulative-share
+// characterization.
+func BenchmarkFig6WorkloadSkew(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exper.Fig6(e)
+	}
+}
+
+// BenchmarkFig7Schedulers regenerates the Figure 7 algorithm comparison
+// (NoShare, LifeRaft across α, RR) and reports the headline greedy-over-
+// NoShare throughput ratio.
+func BenchmarkFig7Schedulers(b *testing.B) {
+	e := env(b)
+	offs := e.SaturatedOffsets()
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, ns, err := core.RunNoShare(e.Config(0), e.Jobs, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, greedy, err := core.Run(e.Config(0), e.Jobs, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = greedy.Throughput() / ns.Throughput()
+	}
+	b.ReportMetric(ratio, "greedy/noshare-x")
+}
+
+// BenchmarkFig8Saturation regenerates one column of the Figure 8 sweep
+// (all α at the highest saturation).
+func BenchmarkFig8Saturation(b *testing.B) {
+	e := env(b)
+	cap, err := e.Capacity()
+	if err != nil {
+		b.Fatal(err)
+	}
+	offs := e.PoissonOffsets(1.25 * cap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if _, _, err := core.Run(e.Config(alpha), e.Jobs, offs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4Tradeoff builds the Figure 4 trade-off curve at one
+// saturation via BuildCurve.
+func BenchmarkFig4Tradeoff(b *testing.B) {
+	e := env(b)
+	cap, err := e.Capacity()
+	if err != nil {
+		b.Fatal(err)
+	}
+	offs := e.PoissonOffsets(0.5 * cap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.BuildCurve(nil, func(alpha float64) ([]core.Result, core.RunStats, error) {
+			return core.Run(e.Config(alpha), e.Jobs, offs)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexOnly regenerates the §5 index-only-vs-NoShare comparison
+// and reports the slowdown.
+func BenchmarkIndexOnly(b *testing.B) {
+	e := env(b)
+	offs := e.SaturatedOffsets()
+	b.ResetTimer()
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		_, ns, err := core.RunNoShare(e.Config(0), e.Jobs, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, io, err := core.RunIndexOnly(e.Config(0), e.Jobs, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = ns.Throughput() / io.Throughput()
+	}
+	b.ReportMetric(slowdown, "noshare/indexonly-x")
+}
+
+// BenchmarkCacheHitRates regenerates the §6 cache observation (α=0 vs α=1)
+// and reports both hit rates.
+func BenchmarkCacheHitRates(b *testing.B) {
+	e := env(b)
+	offs := e.SaturatedOffsets()
+	b.ResetTimer()
+	var greedy, aged float64
+	for i := 0; i < b.N; i++ {
+		_, s0, err := core.Run(e.Config(0), e.Jobs, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, s1, err := core.Run(e.Config(1), e.Jobs, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy, aged = s0.Cache.HitRate(), s1.Cache.HitRate()
+	}
+	b.ReportMetric(100*greedy, "hit%-α0")
+	b.ReportMetric(100*aged, "hit%-α1")
+}
+
+// BenchmarkAblationPolicies compares most-contentious-first with
+// least-sharable-first and round-robin (the §6 policy discussion).
+func BenchmarkAblationPolicies(b *testing.B) {
+	e := env(b)
+	offs := e.SaturatedOffsets()
+	for _, pk := range []core.PolicyKind{core.PolicyLifeRaft, core.PolicyLeastShared, core.PolicyRoundRobin} {
+		b.Run(string(pk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := e.Config(0)
+				cfg.Policy = pk
+				if _, _, err := core.Run(cfg, e.Jobs, offs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndQuery measures the public-API cost of one materialized
+// cross-match query through the engine (the quickstart path).
+func BenchmarkEndToEndQuery(b *testing.B) {
+	e := env(b)
+	job := e.Jobs[0]
+	for job.Objects == nil {
+		b.Fatal("fixture job empty")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, _ := liferaft.NewVirtualConfig(e.Part, 0.25, false)
+		if _, _, err := liferaft.Run(cfg, []liferaft.Job{job}, []time.Duration{0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZonesVsMergeJoin compares the paper's HTM-sorted merge join
+// with the Zones algorithm (Gray et al., the paper's ref [8]) on the same
+// bucket-sized inputs — the two scan-based cross-match formulations must
+// agree on results and differ only in constant factors.
+func BenchmarkZonesVsMergeJoin(b *testing.B) {
+	e := env(b)
+	objs := e.Part.Materialize(0)
+	var queue []liferaft.WorkloadObject
+	for _, j := range e.Jobs {
+		for _, wo := range j.Objects {
+			if wo.MinID >= e.Part.Bucket(0).Span.Start && wo.MaxID <= e.Part.Bucket(0).Span.End {
+				queue = append(queue, wo)
+			}
+		}
+	}
+	if len(queue) == 0 {
+		// Synthesize a queue from the bucket itself.
+		for i := 0; i < 64 && i < len(objs); i += 2 {
+			queue = append(queue, liferaft.NewWorkloadObject(1, objs[i], liferaft.ArcsecToRad(5)))
+		}
+	}
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			liferaft.MergeJoin(objs, queue, nil)
+		}
+	})
+	b.Run("zones", func(b *testing.B) {
+		idx, err := zones.NewIndex(objs, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.CrossMatch(queue, nil)
+		}
+	})
+}

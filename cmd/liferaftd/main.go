@@ -1,0 +1,111 @@
+// Command liferaftd serves one archive node of a LifeRaft federation over
+// TCP. Every daemon synthesizes its catalog deterministically from the
+// shared base survey parameters, so independently started daemons hold
+// correlated archives (the same sky re-observed), exactly what
+// cross-matching needs.
+//
+// A three-archive federation on one machine:
+//
+//	liferaftd -archive sdss    -addr 127.0.0.1:7701 &
+//	liferaftd -archive twomass -addr 127.0.0.1:7702 &
+//	liferaftd -archive usnob   -addr 127.0.0.1:7703 &
+//	skyquery -nodes sdss=127.0.0.1:7701,twomass=127.0.0.1:7702,usnob=127.0.0.1:7703 \
+//	         -archives twomass,sdss,usnob -ra 150 -dec 20 -radius 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"liferaft/internal/catalog"
+	"liferaft/internal/federation"
+	"liferaft/internal/geom"
+	"liferaft/internal/simclock"
+)
+
+func main() {
+	archive := flag.String("archive", "sdss", "archive to serve: sdss (base) or any derived name (twomass, usnob, ...)")
+	addr := flag.String("addr", "127.0.0.1:7701", "listen address")
+	baseN := flag.Int("objects", 200_000, "base survey size in objects")
+	baseSeed := flag.Int64("seed", 42, "base survey seed (must match across the federation)")
+	genLevel := flag.Int("genlevel", 5, "catalog materialization level")
+	perBucket := flag.Int("bucket", 500, "objects per bucket")
+	alpha := flag.Float64("alpha", 0.25, "LifeRaft age bias")
+	cacheBuckets := flag.Int("cache", 20, "bucket cache capacity")
+	virtual := flag.Bool("virtual-clock", true, "charge modeled I/O cost to a virtual clock (instant) instead of sleeping")
+	flag.Parse()
+
+	if err := run(*archive, *addr, *baseN, *baseSeed, *genLevel, *perBucket, *alpha, *cacheBuckets, *virtual); err != nil {
+		fmt.Fprintf(os.Stderr, "liferaftd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// derivedParams fixes the per-archive derivation so that every daemon in a
+// federation agrees on each archive's content.
+var derivedParams = map[string]struct {
+	seedOffset int64
+	fraction   float64
+}{
+	"twomass": {1, 0.8},
+	"usnob":   {2, 0.7},
+	"first":   {3, 0.3},
+	"galex":   {4, 0.4},
+	"rosat":   {5, 0.1},
+}
+
+func buildCatalog(archive string, baseN int, baseSeed int64, genLevel int) (*catalog.Catalog, error) {
+	base, err := catalog.New(catalog.Config{
+		Name: "sdss", N: baseN, Seed: baseSeed, GenLevel: genLevel, CacheTrixels: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if archive == "sdss" {
+		return base, nil
+	}
+	p, ok := derivedParams[archive]
+	if !ok {
+		return nil, fmt.Errorf("unknown archive %q (sdss, twomass, usnob, first, galex, rosat)", archive)
+	}
+	return catalog.NewDerived(base, catalog.DerivedConfig{
+		Name: archive, Seed: baseSeed + p.seedOffset, Fraction: p.fraction,
+		JitterRad: geom.ArcsecToRad(1.5), CacheTrixels: true,
+	})
+}
+
+func run(archive, addr string, baseN int, baseSeed int64, genLevel, perBucket int, alpha float64, cacheBuckets int, virtual bool) error {
+	fmt.Printf("synthesizing archive %q (%d base objects, seed %d)...\n", archive, baseN, baseSeed)
+	cat, err := buildCatalog(archive, baseN, baseSeed, genLevel)
+	if err != nil {
+		return err
+	}
+	var clk simclock.Clock = simclock.Real{}
+	if virtual {
+		clk = simclock.NewVirtual()
+	}
+	node, err := federation.NewNode(federation.NodeConfig{
+		Catalog: cat, ObjectsPerBucket: perBucket,
+		Alpha: alpha, CacheBuckets: cacheBuckets, Clock: clk,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	srv, err := federation.Serve(node, addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("archive %q serving %d objects on %s (alpha=%.2f)\n",
+		archive, cat.Total(), srv.Addr(), alpha)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestBuildCatalogBase(t *testing.T) {
+	cat, err := buildCatalog("sdss", 5000, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Name() != "sdss" || cat.Total() != 5000 {
+		t.Errorf("base catalog: %s/%d", cat.Name(), cat.Total())
+	}
+}
+
+func TestBuildCatalogDerived(t *testing.T) {
+	cat, err := buildCatalog("twomass", 5000, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Name() != "twomass" {
+		t.Errorf("name = %s", cat.Name())
+	}
+	// The derived fraction (0.8 for twomass) applies.
+	frac := float64(cat.Total()) / 5000
+	if frac < 0.7 || frac > 0.9 {
+		t.Errorf("derived fraction = %v", frac)
+	}
+	// Determinism across daemons: a second build is identical.
+	again, err := buildCatalog("twomass", 5000, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Total() != cat.Total() {
+		t.Error("derived catalog not deterministic across builds")
+	}
+}
+
+func TestBuildCatalogUnknown(t *testing.T) {
+	if _, err := buildCatalog("hubble", 100, 1, 3); err == nil {
+		t.Error("unknown archive should fail")
+	}
+}

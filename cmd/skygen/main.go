@@ -1,0 +1,95 @@
+// Command skygen generates and inspects synthetic SkyQuery workload
+// traces: the query streams the experiments replay (paper §5.1). With
+// -stats it prints the trace's workload characterization — the statistics
+// behind Figures 5 and 6.
+//
+// Usage:
+//
+//	skygen [-n 2000] [-seed 42] [-stats] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"liferaft/internal/exper"
+	"liferaft/internal/geom"
+	"liferaft/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "number of queries")
+	seed := flag.Int64("seed", 42, "trace seed")
+	stats := flag.Bool("stats", false, "print Figure 5/6 workload statistics (builds catalogs)")
+	asJSON := flag.Bool("json", false, "emit the trace as JSON lines")
+	flag.Parse()
+
+	if err := run(*n, *seed, *stats, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "skygen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, stats, asJSON bool) error {
+	cfg := workload.DefaultTraceConfig(seed)
+	cfg.NumQueries = n
+	trace, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, q := range trace.Queries {
+			ra, dec := geom.ToRaDec(q.Center)
+			row := map[string]any{
+				"id": q.ID, "ra": ra, "dec": dec,
+				"radius_deg":   geom.Degrees(q.RadiusRad),
+				"match_arcsec": geom.RadToArcsec(q.MatchRadiusRad),
+				"selectivity":  q.Selectivity,
+				"hot":          q.Hot,
+				"archives":     q.Archives,
+			}
+			if q.MagLo != 0 || q.MagHi != 0 {
+				row["mag_lo"], row["mag_hi"] = q.MagLo, q.MagHi
+			}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Printf("trace: %d queries, %d hotspots, seed %d\n", len(trace.Queries), len(trace.Hotspots), seed)
+	hot := 0
+	for _, q := range trace.Queries {
+		if q.Hot {
+			hot++
+		}
+	}
+	fmt.Printf("hot-region queries: %d (%.0f%%)\n", hot, 100*float64(hot)/float64(len(trace.Queries)))
+	for i, q := range trace.Queries[:min(5, len(trace.Queries))] {
+		fmt.Printf("  %d: %v\n", i, q)
+	}
+	if !stats {
+		fmt.Println("(run with -stats for the Figure 5/6 workload characterization)")
+		return nil
+	}
+	scale := exper.CI()
+	scale.NumQueries = n
+	scale.Seed = seed
+	env, err := exper.NewEnv(scale)
+	if err != nil {
+		return err
+	}
+	exper.Fig5(env).Fprint(os.Stdout)
+	exper.Fig6(env).Fprint(os.Stdout)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+// Command skyquery is the federation portal client: it plans a serial
+// left-deep cross-match over the archives you name and prints the joined
+// rows, the way SkyQuery's web portal drove the real federation.
+//
+// Queries can be given as flags or in SkyQL, the SQL dialect SkyQuery
+// exposed to astronomers:
+//
+//	skyquery -nodes sdss=127.0.0.1:7701,twomass=127.0.0.1:7702 \
+//	         -archives twomass,sdss -ra 150 -dec 20 -radius 4 -limit 10
+//
+//	skyquery -nodes sdss=127.0.0.1:7701,twomass=127.0.0.1:7702 -query '
+//	    SELECT t.id, s.id FROM twomass t, sdss s
+//	    WHERE XMATCH(t, s) < 5 AND REGION(CIRCLE, 150, 20, 4) AND SAMPLE(0.5)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"liferaft/internal/federation"
+	"liferaft/internal/skyql"
+)
+
+func main() {
+	nodes := flag.String("nodes", "", "comma-separated name=addr pairs for every archive")
+	archives := flag.String("archives", "twomass,sdss", "plan order; first archive drives the extraction")
+	ra := flag.Float64("ra", 150, "region center right ascension, degrees")
+	dec := flag.Float64("dec", 20, "region center declination, degrees")
+	radius := flag.Float64("radius", 4, "region radius, degrees")
+	match := flag.Float64("match", 5, "cross-match radius, arcseconds")
+	sel := flag.Float64("sel", 0.5, "driving-archive selectivity (0,1]")
+	magLo := flag.Float64("maglo", 0, "optional magnitude predicate lower bound")
+	magHi := flag.Float64("maghi", 0, "optional magnitude predicate upper bound")
+	limit := flag.Int("limit", 20, "max rows to print")
+	seed := flag.Int64("seed", 1, "subsampling seed")
+	queryText := flag.String("query", "", "SkyQL query text (overrides the per-field flags)")
+	flag.Parse()
+
+	if err := run(*nodes, *archives, *ra, *dec, *radius, *match, *sel, *magLo, *magHi, *limit, *seed, *queryText); err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, archives string, ra, dec, radius, match, sel, magLo, magHi float64, limit int, seed int64, queryText string) error {
+	if nodes == "" {
+		return fmt.Errorf("-nodes is required (e.g. sdss=127.0.0.1:7701,twomass=127.0.0.1:7702)")
+	}
+	portal := federation.NewPortal()
+	for _, pair := range strings.Split(nodes, ",") {
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("bad -nodes entry %q, want name=addr", pair)
+		}
+		cli := federation.Dial(addr)
+		defer cli.Close()
+		// Verify the daemon serves what we think it serves.
+		served, err := cli.Archive()
+		if err != nil {
+			return fmt.Errorf("contacting %s at %s: %w", name, addr, err)
+		}
+		if served != name {
+			return fmt.Errorf("node at %s serves %q, not %q", addr, served, name)
+		}
+		portal.Register(name, cli)
+	}
+
+	q := federation.Query{
+		ID: 1, RA: ra, Dec: dec, RadiusDeg: radius,
+		MatchRadiusArcsec: match, Selectivity: sel,
+		Archives: strings.Split(archives, ","),
+		MagLo:    magLo, MagHi: magHi, Seed: seed,
+	}
+	if queryText != "" {
+		parsed, err := skyql.Parse(queryText)
+		if err != nil {
+			return err
+		}
+		if q, err = skyql.Compile(parsed, 1, seed); err != nil {
+			return err
+		}
+		if parsed.Limit > 0 {
+			limit = parsed.Limit
+		}
+		archives = strings.Join(q.Archives, ",")
+	}
+	rs, err := portal.Execute(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cross-match %s: %d rows\n", archives, len(rs.Rows))
+	for _, a := range q.Archives[1:] {
+		fmt.Printf("  %s: shipped %d objects, matched in %v\n", a, rs.Shipped[a], rs.HopElapsed[a])
+	}
+	names := q.Archives
+	for i, row := range rs.Rows {
+		if i >= limit {
+			fmt.Printf("  ... %d more rows\n", len(rs.Rows)-limit)
+			break
+		}
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			if o, ok := row.Objects[n]; ok {
+				parts = append(parts, fmt.Sprintf("%s:%d(mag %.1f)", n, o.ID, o.Mag))
+			}
+		}
+		sort.Strings(parts)
+		fmt.Printf("  row %3d: %s\n", i, strings.Join(parts, "  "))
+	}
+	return nil
+}

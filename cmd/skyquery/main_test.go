@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"liferaft/internal/catalog"
+	"liferaft/internal/federation"
+	"liferaft/internal/simclock"
+)
+
+// TestRunEndToEnd drives the portal client against real TCP nodes,
+// covering both the flag and SkyQL paths.
+func TestRunEndToEnd(t *testing.T) {
+	base, err := catalog.New(catalog.Config{
+		Name: "sdss", N: 20000, Seed: 1, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := catalog.NewDerived(base, catalog.DerivedConfig{
+		Name: "twomass", Seed: 2, Fraction: 0.8, JitterRad: 1e-5, CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.NewVirtual()
+	mk := func(c *catalog.Catalog) (*federation.Node, *federation.Server) {
+		n, err := federation.NewNode(federation.NodeConfig{
+			Catalog: c, ObjectsPerBucket: 400, Alpha: 0.25, Clock: clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := federation.Serve(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close(); n.Close() })
+		return n, s
+	}
+	_, sdssSrv := mk(base)
+	_, tmSrv := mk(der)
+	nodes := "sdss=" + sdssSrv.Addr().String() + ",twomass=" + tmSrv.Addr().String()
+
+	// Flags path.
+	if err := run(nodes, "twomass,sdss", 150, 20, 8, 5, 0.8, 0, 0, 5, 1, ""); err != nil {
+		t.Fatalf("flags path: %v", err)
+	}
+	// SkyQL path.
+	q := `SELECT t.id, s.id FROM twomass t, sdss s
+	      WHERE XMATCH(t, s) < 5 AND REGION(CIRCLE, 150, 20, 8) AND SAMPLE(0.8) LIMIT 3`
+	if err := run(nodes, "", 0, 0, 0, 0, 0.5, 0, 0, 5, 1, q); err != nil {
+		t.Fatalf("skyql path: %v", err)
+	}
+	// Bad SkyQL propagates.
+	if err := run(nodes, "", 0, 0, 0, 0, 0.5, 0, 0, 5, 1, "SELECT nonsense"); err == nil {
+		t.Error("bad SkyQL should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, ""); err == nil {
+		t.Error("missing -nodes should fail")
+	}
+	if err := run("badpair", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, ""); err == nil ||
+		!strings.Contains(err.Error(), "name=addr") {
+		t.Errorf("bad pair error = %v", err)
+	}
+	if err := run("sdss=127.0.0.1:1", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, ""); err == nil {
+		t.Error("dead node should fail")
+	}
+}

@@ -1,0 +1,121 @@
+// Interactive: the starvation problem that motivates LifeRaft (§1) and
+// the QoS extension of §6. A stream of hour-long batch cross-matches is
+// mixed with short interactive look-ups; we compare how the short queries
+// fare under NoShare (strict arrival order), greedy LifeRaft, aged
+// LifeRaft, and LifeRaft with age depreciation for long queries.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"liferaft"
+)
+
+func main() {
+	local, err := liferaft.NewCatalog(liferaft.CatalogConfig{
+		Name: "sdss", N: 120_000, Seed: 41, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote, err := liferaft.NewDerivedCatalog(local, liferaft.DerivedConfig{
+		Name: "twomass", Seed: 42, Fraction: 0.8,
+		JitterRad: liferaft.ArcsecToRad(1.5), CacheTrixels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := liferaft.NewPartition(local, 400, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the mix: broad batch surveys alternating with interactive
+	// pinpoint look-ups, arriving faster than the batch work drains.
+	rng := rand.New(rand.NewSource(43))
+	var jobs []liferaft.Job
+	var isShort []bool
+	var offsets []time.Duration
+	id := uint64(0)
+	t := time.Duration(0)
+	for i := 0; i < 120; i++ {
+		short := i%2 != 0 // alternate batch and interactive
+		q := liferaft.Query{
+			ID:             id,
+			Center:         liferaft.FromRaDec(rng.Float64()*40+130, rng.Float64()*20+10),
+			MatchRadiusRad: liferaft.ArcsecToRad(5),
+		}
+		if short {
+			q.RadiusRad = 0.6 * 3.14159 / 180 // ~a field of view
+			q.Selectivity = 0.9
+		} else {
+			q.RadiusRad = 14 * 3.14159 / 180 // a whole region survey
+			q.Selectivity = 0.8
+		}
+		jobs = append(jobs, liferaft.Job{
+			ID: id, Objects: liferaft.MaterializeQuery(q, remote, 9),
+		})
+		isShort = append(isShort, short)
+		offsets = append(offsets, t)
+		t += 120 * time.Millisecond
+		id++
+	}
+
+	meanBy := func(res []liferaft.Result, short bool) time.Duration {
+		var sum time.Duration
+		n := 0
+		for _, r := range res {
+			if isShort[r.QueryID] == short {
+				sum += r.ResponseTime()
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / time.Duration(n)
+	}
+
+	show := func(name string, res []liferaft.Result, stats liferaft.RunStats) {
+		fmt.Printf("%-28s short-query resp %8v   long-query resp %8v   throughput %.2f q/s\n",
+			name,
+			meanBy(res, true).Round(10*time.Millisecond),
+			meanBy(res, false).Round(10*time.Millisecond),
+			stats.Throughput())
+	}
+
+	// NoShare: strict arrival order, no sharing — short queries queue
+	// behind every long query ahead of them.
+	cfg, _ := liferaft.NewVirtualConfig(part, 0, false)
+	res, stats, err := liferaft.RunNoShare(cfg, jobs, offsets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("NoShare (arrival order)", res, stats)
+
+	for _, alpha := range []float64{0, 0.75} {
+		cfg, _ := liferaft.NewVirtualConfig(part, alpha, false)
+		res, stats, err := liferaft.Run(cfg, jobs, offsets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(fmt.Sprintf("LifeRaft α=%.2f", alpha), res, stats)
+	}
+
+	// The §6 QoS extension: long queries' requests age more slowly, so
+	// interactive queries keep their place without giving up batching.
+	cfgQoS, _ := liferaft.NewVirtualConfig(part, 0.75, false)
+	cfgQoS.AgeDepreciationGamma = 4
+	res, stats, err = liferaft.Run(cfgQoS, jobs, offsets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("LifeRaft α=0.75 + QoS γ=4", res, stats)
+
+	fmt.Println("\nthe QoS row keeps batch throughput while pulling interactive latency down")
+}

@@ -1,0 +1,188 @@
+// Package bucket implements the equal-sized bucket partitioning of paper
+// §3.1 (Figure 1) and the bucket store that serves them from the modeled
+// disk.
+//
+// A partition divides a catalog's objects — already linearly ordered along
+// the HTM space-filling curve — into consecutive buckets holding exactly
+// the same number of objects (the last bucket may be short). Equal object
+// counts give uniform I/O cost per bucket, the property the workload
+// throughput metric (Eq. 1) relies on: every out-of-core bucket costs the
+// same Tb. Each bucket also carries the contiguous level-14 HTM ID span it
+// covers, so an incoming cross-match object's bounding ranges map to
+// bucket indices by binary search.
+package bucket
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"liferaft/internal/catalog"
+	"liferaft/internal/disk"
+	"liferaft/internal/htm"
+)
+
+// DefaultObjectBytes reproduces the paper's bucket geometry: 10,000-object
+// buckets of 40 MB are 4 KiB per object (SDSS photometric rows are wide).
+const DefaultObjectBytes = 4096
+
+// Bucket is one equal-sized partition of the catalog.
+type Bucket struct {
+	// Index is the bucket's position in HTM-curve order, 0-based.
+	Index int
+	// Lo and Hi delimit the global object ordinals [Lo, Hi).
+	Lo, Hi int64
+	// Span is the level-14 HTM ID range the bucket's objects fall in.
+	// Spans of adjacent buckets may share a boundary trixel; the overlap
+	// only widens the coarse filter (never loses a match).
+	Span htm.Range
+}
+
+// Count returns the number of objects in the bucket.
+func (b Bucket) Count() int { return int(b.Hi - b.Lo) }
+
+// String implements fmt.Stringer.
+func (b Bucket) String() string {
+	return fmt.Sprintf("bucket %d: objects [%d,%d) span %v", b.Index, b.Lo, b.Hi, b.Span)
+}
+
+// Partition is an equal-sized bucketing of one catalog.
+type Partition struct {
+	cat         *catalog.Catalog
+	perBucket   int
+	objectBytes int64
+	buckets     []Bucket
+}
+
+// NewPartition divides cat into buckets of exactly perBucket objects
+// (the final bucket holds the remainder). objectBytes sets the on-disk
+// size per object; pass 0 for DefaultObjectBytes.
+func NewPartition(cat *catalog.Catalog, perBucket int, objectBytes int64) (*Partition, error) {
+	if perBucket <= 0 {
+		return nil, fmt.Errorf("bucket: perBucket %d must be positive", perBucket)
+	}
+	if objectBytes < 0 {
+		return nil, fmt.Errorf("bucket: negative objectBytes %d", objectBytes)
+	}
+	if objectBytes == 0 {
+		objectBytes = DefaultObjectBytes
+	}
+	total := int64(cat.Total())
+	n := int((total + int64(perBucket) - 1) / int64(perBucket))
+	p := &Partition{cat: cat, perBucket: perBucket, objectBytes: objectBytes}
+	p.buckets = make([]Bucket, n)
+	level := cat.GenLevel()
+	for i := 0; i < n; i++ {
+		lo := int64(i) * int64(perBucket)
+		hi := lo + int64(perBucket)
+		if hi > total {
+			hi = total
+		}
+		first := cat.TrixelOf(lo)
+		last := cat.TrixelOf(hi - 1)
+		span := htm.Range{
+			Start: htm.FromPos(first, level).RangeAtLevel(htm.PaperLevel).Start,
+			End:   htm.FromPos(last, level).RangeAtLevel(htm.PaperLevel).End,
+		}
+		p.buckets[i] = Bucket{Index: i, Lo: lo, Hi: hi, Span: span}
+	}
+	return p, nil
+}
+
+// NumBuckets returns the number of buckets.
+func (p *Partition) NumBuckets() int { return len(p.buckets) }
+
+// Bucket returns bucket i.
+func (p *Partition) Bucket(i int) Bucket { return p.buckets[i] }
+
+// PerBucket returns the configured objects-per-bucket quota.
+func (p *Partition) PerBucket() int { return p.perBucket }
+
+// BucketBytes returns the on-disk size of bucket i.
+func (p *Partition) BucketBytes(i int) int64 {
+	return int64(p.buckets[i].Count()) * p.objectBytes
+}
+
+// Catalog returns the underlying catalog.
+func (p *Partition) Catalog() *catalog.Catalog { return p.cat }
+
+// BucketsForRanges maps a sorted, merged list of level-14 HTM ranges (as
+// produced by htm.CoverCap) to the indices of all buckets whose span
+// overlaps any range. The result is sorted and duplicate-free.
+func (p *Partition) BucketsForRanges(rs []htm.Range) []int {
+	var out []int
+	n := len(p.buckets)
+	for _, r := range rs {
+		// First bucket whose span may overlap r: spans are ordered by
+		// Start, so find the first bucket with Span.End >= r.Start.
+		i := sort.Search(n, func(i int) bool { return p.buckets[i].Span.End >= r.Start })
+		for ; i < n && p.buckets[i].Span.Start <= r.End; i++ {
+			out = append(out, i)
+		}
+	}
+	if len(out) <= 1 {
+		return out
+	}
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Materialize generates the objects of bucket i, sorted by HTM ID. The
+// result is deterministic; it is what a sequential scan of the bucket
+// returns.
+func (p *Partition) Materialize(i int) []catalog.Object {
+	b := p.buckets[i]
+	return p.cat.Objects(b.Lo, b.Hi)
+}
+
+// Store serves buckets from the modeled disk, charging sequential-scan
+// cost for full bucket reads and sorted-probe cost for indexed access.
+// The cache layer sits above the store (see the engine); every Store read
+// is a real disk transfer.
+type Store struct {
+	part        *Partition
+	dsk         *disk.Disk
+	materialize bool
+}
+
+// NewStore builds a store over a partition. If materialize is false, reads
+// charge I/O cost but return no objects — the cost-accurate mode used by
+// paper-scale scheduling experiments (DESIGN.md §3).
+func NewStore(part *Partition, d *disk.Disk, materialize bool) *Store {
+	return &Store{part: part, dsk: d, materialize: materialize}
+}
+
+// Partition returns the store's partition.
+func (s *Store) Partition() *Partition { return s.part }
+
+// Materializing reports whether reads return objects.
+func (s *Store) Materializing() bool { return s.materialize }
+
+// ReadBucket performs a full sequential scan of bucket i, charging its
+// disk cost. The returned objects are nil in cost-only mode.
+func (s *Store) ReadBucket(i int) ([]catalog.Object, time.Duration) {
+	cost := s.dsk.ReadSequential(s.part.BucketBytes(i))
+	if !s.materialize {
+		return nil, cost
+	}
+	return s.part.Materialize(i), cost
+}
+
+// Probe charges the cost of n index probes into bucket i (objects are
+// located via the spatial index instead of a scan). In materializing mode
+// it returns the bucket's objects so the caller can evaluate matches; the
+// cost charged is the probe cost, not a scan.
+func (s *Store) Probe(i, n int) ([]catalog.Object, time.Duration) {
+	cost := s.dsk.ReadProbes(n)
+	if !s.materialize {
+		return nil, cost
+	}
+	return s.part.Materialize(i), cost
+}

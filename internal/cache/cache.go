@@ -1,0 +1,340 @@
+// Package cache implements the bucket cache of the LifeRaft architecture
+// (paper §4, Figure 3): a fixed-capacity in-memory store of recently read
+// buckets. The paper uses a simple least-recently-used policy with a
+// capacity of 20 buckets and manages it independently of the database
+// server (SQL Server's buffer pool is flushed after every bucket read).
+// CLOCK and 2Q policies are provided for the cache-policy ablation.
+//
+// The scheduler consults the cache *without* touching recency (Contains)
+// when computing φ(i) in the workload throughput metric — whether a bucket
+// is in memory decides whether its Tb is charged — and promotes entries
+// only on real reads (Get/Put).
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Puts      int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d hitRate=%.1f%%",
+		s.Hits, s.Misses, s.Evictions, 100*s.HitRate())
+}
+
+// Cache is a fixed-capacity key-value cache. Implementations are not safe
+// for concurrent use; the engine serializes access on its scheduling
+// goroutine.
+type Cache[K comparable, V any] interface {
+	// Get returns the cached value and promotes it per the policy.
+	Get(k K) (V, bool)
+	// Put inserts or refreshes a value, evicting per the policy.
+	Put(k K, v V)
+	// Contains reports membership without affecting recency. This is
+	// the φ(i) probe of Eq. 1.
+	Contains(k K) bool
+	// Remove drops a key if present, reporting whether it was.
+	Remove(k K) bool
+	// Len returns the number of cached entries.
+	Len() int
+	// Cap returns the capacity.
+	Cap() int
+	// Stats returns a snapshot of the counters.
+	Stats() Stats
+}
+
+type lruEntry[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// LRU is a least-recently-used cache, the paper's policy.
+type LRU[K comparable, V any] struct {
+	cap   int
+	ll    *list.List // front = most recent
+	items map[K]*list.Element
+	stats Stats
+}
+
+// NewLRU returns an LRU cache with the given capacity (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{cap: capacity, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get implements Cache.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.stats.Hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(lruEntry[K, V]).v, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Put implements Cache.
+func (c *LRU[K, V]) Put(k K, v V) {
+	c.stats.Puts++
+	if el, ok := c.items[k]; ok {
+		el.Value = lruEntry[K, V]{k, v}
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(lruEntry[K, V]).k)
+		c.stats.Evictions++
+	}
+	c.items[k] = c.ll.PushFront(lruEntry[K, V]{k, v})
+}
+
+// Contains implements Cache.
+func (c *LRU[K, V]) Contains(k K) bool { _, ok := c.items[k]; return ok }
+
+// Remove implements Cache.
+func (c *LRU[K, V]) Remove(k K) bool {
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, k)
+	return true
+}
+
+// Len implements Cache.
+func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+
+// Cap implements Cache.
+func (c *LRU[K, V]) Cap() int { return c.cap }
+
+// Stats implements Cache.
+func (c *LRU[K, V]) Stats() Stats { return c.stats }
+
+// Keys returns the cached keys from most to least recently used; useful
+// for tests and debugging.
+func (c *LRU[K, V]) Keys() []K {
+	out := make([]K, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(lruEntry[K, V]).k)
+	}
+	return out
+}
+
+// Clock is a CLOCK (second-chance) cache: an LRU approximation with O(1)
+// lookups and a rotating eviction hand. Included for the cache-policy
+// ablation bench.
+type Clock[K comparable, V any] struct {
+	cap   int
+	slots []clockSlot[K, V]
+	index map[K]int
+	hand  int
+	stats Stats
+}
+
+type clockSlot[K comparable, V any] struct {
+	k    K
+	v    V
+	ref  bool
+	used bool
+}
+
+// NewClock returns a CLOCK cache with the given capacity (minimum 1).
+func NewClock[K comparable, V any](capacity int) *Clock[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Clock[K, V]{cap: capacity, slots: make([]clockSlot[K, V], capacity), index: make(map[K]int)}
+}
+
+// Get implements Cache.
+func (c *Clock[K, V]) Get(k K) (V, bool) {
+	if i, ok := c.index[k]; ok {
+		c.stats.Hits++
+		c.slots[i].ref = true
+		return c.slots[i].v, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Put implements Cache.
+func (c *Clock[K, V]) Put(k K, v V) {
+	c.stats.Puts++
+	if i, ok := c.index[k]; ok {
+		c.slots[i].v = v
+		c.slots[i].ref = true
+		return
+	}
+	for {
+		s := &c.slots[c.hand]
+		if !s.used {
+			*s = clockSlot[K, V]{k: k, v: v, ref: false, used: true}
+			c.index[k] = c.hand
+			c.hand = (c.hand + 1) % c.cap
+			return
+		}
+		if s.ref {
+			s.ref = false
+			c.hand = (c.hand + 1) % c.cap
+			continue
+		}
+		delete(c.index, s.k)
+		c.stats.Evictions++
+		*s = clockSlot[K, V]{k: k, v: v, ref: false, used: true}
+		c.index[k] = c.hand
+		c.hand = (c.hand + 1) % c.cap
+		return
+	}
+}
+
+// Contains implements Cache.
+func (c *Clock[K, V]) Contains(k K) bool { _, ok := c.index[k]; return ok }
+
+// Remove implements Cache.
+func (c *Clock[K, V]) Remove(k K) bool {
+	i, ok := c.index[k]
+	if !ok {
+		return false
+	}
+	delete(c.index, k)
+	c.slots[i] = clockSlot[K, V]{}
+	return true
+}
+
+// Len implements Cache.
+func (c *Clock[K, V]) Len() int { return len(c.index) }
+
+// Cap implements Cache.
+func (c *Clock[K, V]) Cap() int { return c.cap }
+
+// Stats implements Cache.
+func (c *Clock[K, V]) Stats() Stats { return c.stats }
+
+// TwoQueue is a simplified 2Q cache: a FIFO probation queue admits new
+// keys; a second hit promotes to a protected LRU segment. It resists the
+// scan pollution that sequential bucket batches inflict on plain LRU.
+type TwoQueue[K comparable, V any] struct {
+	probation *LRU[K, V]
+	protected *LRU[K, V]
+	stats     Stats
+}
+
+// NewTwoQueue returns a 2Q cache with the given total capacity (minimum
+// 2): a quarter (at least 1) probationary, the rest protected.
+func NewTwoQueue[K comparable, V any](capacity int) *TwoQueue[K, V] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	probCap := capacity / 4
+	if probCap < 1 {
+		probCap = 1
+	}
+	return &TwoQueue[K, V]{
+		probation: NewLRU[K, V](probCap),
+		protected: NewLRU[K, V](capacity - probCap),
+	}
+}
+
+// Get implements Cache.
+func (c *TwoQueue[K, V]) Get(k K) (V, bool) {
+	if v, ok := c.protected.Get(k); ok {
+		c.stats.Hits++
+		return v, true
+	}
+	if v, ok := c.probation.Get(k); ok {
+		// Second touch: promote.
+		c.probation.Remove(k)
+		c.promote(k, v)
+		c.stats.Hits++
+		return v, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+func (c *TwoQueue[K, V]) promote(k K, v V) {
+	before := c.protected.Stats().Evictions
+	c.protected.Put(k, v)
+	c.stats.Evictions += c.protected.Stats().Evictions - before
+}
+
+// Put implements Cache.
+func (c *TwoQueue[K, V]) Put(k K, v V) {
+	c.stats.Puts++
+	if c.protected.Contains(k) {
+		c.protected.Put(k, v)
+		return
+	}
+	before := c.probation.Stats().Evictions
+	c.probation.Put(k, v)
+	c.stats.Evictions += c.probation.Stats().Evictions - before
+}
+
+// Contains implements Cache.
+func (c *TwoQueue[K, V]) Contains(k K) bool {
+	return c.protected.Contains(k) || c.probation.Contains(k)
+}
+
+// Remove implements Cache.
+func (c *TwoQueue[K, V]) Remove(k K) bool {
+	return c.protected.Remove(k) || c.probation.Remove(k)
+}
+
+// Len implements Cache.
+func (c *TwoQueue[K, V]) Len() int { return c.protected.Len() + c.probation.Len() }
+
+// Cap implements Cache.
+func (c *TwoQueue[K, V]) Cap() int { return c.protected.Cap() + c.probation.Cap() }
+
+// Stats implements Cache.
+func (c *TwoQueue[K, V]) Stats() Stats { return c.stats }
+
+// PolicyName identifies a cache policy for configuration.
+type PolicyName string
+
+// Supported cache policies.
+const (
+	PolicyLRU      PolicyName = "lru"
+	PolicyClock    PolicyName = "clock"
+	PolicyTwoQueue PolicyName = "2q"
+)
+
+// New builds a cache of the named policy. It returns an error for unknown
+// names so configuration mistakes surface early.
+func New[K comparable, V any](policy PolicyName, capacity int) (Cache[K, V], error) {
+	switch policy {
+	case PolicyLRU, "":
+		return NewLRU[K, V](capacity), nil
+	case PolicyClock:
+		return NewClock[K, V](capacity), nil
+	case PolicyTwoQueue:
+		return NewTwoQueue[K, V](capacity), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q", policy)
+	}
+}

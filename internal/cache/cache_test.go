@@ -1,0 +1,291 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[int, string](2)
+	if c.Cap() != 2 || c.Len() != 0 {
+		t.Fatal("fresh cache state")
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Error("Get(1)")
+	}
+	c.Put(3, "c") // evicts 2 (1 was just used)
+	if c.Contains(2) {
+		t.Error("2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("1 and 3 should remain")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Hits != 1 || st.Puts != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU[int, string](2)
+	c.Put(1, "a")
+	c.Put(1, "a2")
+	if c.Len() != 1 {
+		t.Error("update should not grow cache")
+	}
+	if v, _ := c.Get(1); v != "a2" {
+		t.Error("update lost")
+	}
+}
+
+func TestLRUContainsDoesNotPromote(t *testing.T) {
+	// φ(i) probes must not perturb recency, or the scheduler's metric
+	// computation would itself reorder evictions.
+	c := NewLRU[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Contains(1) // must NOT promote 1
+	c.Put(3, 3)   // evicts 1 (oldest by true recency)
+	if c.Contains(1) {
+		t.Error("Contains promoted key 1")
+	}
+	if !c.Contains(2) {
+		t.Error("key 2 should survive")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewLRU[int, int](3)
+	c.Put(1, 1)
+	if !c.Remove(1) || c.Remove(1) {
+		t.Error("Remove semantics")
+	}
+	if c.Len() != 0 {
+		t.Error("Len after Remove")
+	}
+}
+
+func TestLRUKeysOrder(t *testing.T) {
+	c := NewLRU[int, int](3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Get(1)
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 3 || keys[2] != 2 {
+		t.Errorf("Keys = %v, want [1 3 2]", keys)
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := NewLRU[int, int](0)
+	if c.Cap() != 1 {
+		t.Error("capacity should clamp to 1")
+	}
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 || c.Contains(1) {
+		t.Error("single-slot eviction")
+	}
+}
+
+func TestLRUMissCounts(t *testing.T) {
+	c := NewLRU[int, int](1)
+	c.Get(9)
+	c.Put(9, 9)
+	c.Get(9)
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", st.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+	if st.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Error("Get(1)")
+	}
+	c.Put(3, "c") // 1 is referenced → second chance; 2 evicted
+	if !c.Contains(1) {
+		t.Error("referenced key 1 should survive one sweep")
+	}
+	if c.Contains(2) {
+		t.Error("unreferenced key 2 should be evicted")
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Error("size accounting")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestClockUpdateAndRemove(t *testing.T) {
+	c := NewClock[int, int](2)
+	c.Put(1, 10)
+	c.Put(1, 11)
+	if v, _ := c.Get(1); v != 11 {
+		t.Error("update lost")
+	}
+	if !c.Remove(1) || c.Remove(1) {
+		t.Error("Remove semantics")
+	}
+	if c.Len() != 0 {
+		t.Error("Len after Remove")
+	}
+	// Reuse the freed slot.
+	c.Put(2, 20)
+	if !c.Contains(2) {
+		t.Error("slot reuse failed")
+	}
+	if c2 := NewClock[int, int](0); c2.Cap() != 1 {
+		t.Error("capacity clamp")
+	}
+}
+
+func TestTwoQueuePromotion(t *testing.T) {
+	c := NewTwoQueue[int, int](8) // probation 2, protected 6
+	if c.Cap() != 8 {
+		t.Errorf("Cap = %d", c.Cap())
+	}
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3) // 1 falls out of probation (cap 2) without a second touch
+	if c.Contains(1) {
+		t.Error("once-touched key should age out of probation")
+	}
+	c.Get(2) // promote to protected
+	// Scan many one-shot keys through probation.
+	for k := 10; k < 30; k++ {
+		c.Put(k, k)
+	}
+	if !c.Contains(2) {
+		t.Error("promoted key should survive a scan")
+	}
+	if c.Stats().Hits == 0 || c.Stats().Misses != 0 {
+		c.Get(999)
+		if c.Stats().Misses != 1 {
+			t.Error("miss accounting")
+		}
+	}
+}
+
+func TestTwoQueueRemoveAndLen(t *testing.T) {
+	c := NewTwoQueue[int, int](4)
+	c.Put(1, 1)
+	c.Get(1) // promoted
+	c.Put(2, 2)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if !c.Remove(1) || !c.Remove(2) || c.Remove(3) {
+		t.Error("Remove semantics")
+	}
+	if c2 := NewTwoQueue[int, int](0); c2.Cap() < 2 {
+		t.Error("capacity clamp")
+	}
+	// Put on an already-protected key must update in place.
+	c.Put(5, 5)
+	c.Get(5)
+	c.Put(5, 55)
+	if v, _ := c.Get(5); v != 55 {
+		t.Error("protected update lost")
+	}
+}
+
+func TestNewByPolicyName(t *testing.T) {
+	for _, p := range []PolicyName{PolicyLRU, PolicyClock, PolicyTwoQueue, ""} {
+		c, err := New[int, int](p, 4)
+		if err != nil || c == nil {
+			t.Errorf("New(%q): %v", p, err)
+		}
+	}
+	if _, err := New[int, int]("bogus", 4); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+// Property: an LRU of capacity k, after any workload, holds exactly the k
+// most recently put/hit distinct keys.
+func TestQuickLRUHoldsMostRecent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const cap = 5
+		c := NewLRU[int, int](cap)
+		var recent []int // most recent first, distinct
+		touch := func(k int) {
+			for i, v := range recent {
+				if v == k {
+					recent = append(recent[:i], recent[i+1:]...)
+					break
+				}
+			}
+			recent = append([]int{k}, recent...)
+			if len(recent) > cap {
+				recent = recent[:cap]
+			}
+		}
+		for i := 0; i < 200; i++ {
+			k := rng.Intn(12)
+			if rng.Intn(2) == 0 {
+				c.Put(k, k)
+				touch(k)
+			} else if _, ok := c.Get(k); ok {
+				touch(k)
+			}
+		}
+		if c.Len() != len(recent) {
+			return false
+		}
+		for _, k := range recent {
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no policy ever exceeds its capacity.
+func TestQuickCapacityInvariant(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		caches := []Cache[int, int]{
+			NewLRU[int, int](capacity),
+			NewClock[int, int](capacity),
+			NewTwoQueue[int, int](capacity),
+		}
+		for i := 0; i < 300; i++ {
+			k := rng.Intn(40)
+			for _, c := range caches {
+				c.Put(k, k)
+				c.Get(rng.Intn(40))
+				if c.Len() > c.Cap() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package core implements LifeRaft itself: the data-driven, batch query
+// scheduler of the paper. It contains the architecture of Figure 3 —
+// query pre-processor, workload manager, aged-workload-throughput
+// scheduler, hybrid join evaluator, and bucket cache — plus the baseline
+// schedulers the evaluation compares against (NoShare, round-robin, and
+// the index-only approach SkyQuery used before LifeRaft).
+//
+// The engine runs against a simclock.Clock: with a virtual clock, hours of
+// schedule replay in milliseconds and all costs come from the disk model
+// (the configuration used by every experiment); with the real clock the
+// same decision logic serves live queries (see Live).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/cache"
+	"liferaft/internal/catalog"
+	"liferaft/internal/disk"
+	"liferaft/internal/simclock"
+	"liferaft/internal/xmatch"
+)
+
+// PolicyKind selects the scheduling discipline.
+type PolicyKind string
+
+// Scheduling policies evaluated in the paper (§5).
+const (
+	// PolicyLifeRaft schedules the bucket with the maximum aged workload
+	// throughput metric (Eq. 2); Alpha sets the age bias.
+	PolicyLifeRaft PolicyKind = "liferaft"
+	// PolicyRoundRobin services non-empty buckets cyclically in HTM ID
+	// order, the "RR" baseline proposed for SkyQuery.
+	PolicyRoundRobin PolicyKind = "rr"
+	// PolicyLeastShared services the bucket with the smallest workload
+	// queue first — the "least sharable file first" discipline of
+	// Agrawal et al. that §6 argues is wrong for scientific workloads
+	// (it maximizes future batching at the cost of buffering). Included
+	// for the policy ablation.
+	PolicyLeastShared PolicyKind = "lsf"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Store serves buckets; it determines the partition and disk model.
+	Store *bucket.Store
+	// Disk charges costs; it must be the disk the Store was built with.
+	Disk *disk.Disk
+	// Clock is the time source shared with Disk.
+	Clock simclock.Clock
+
+	// Policy selects the scheduler; default PolicyLifeRaft.
+	Policy PolicyKind
+	// Alpha is the age bias of Eq. 2 in [0, 1]: 0 is the greedy
+	// most-contentious-first scheduler, 1 completes work in arrival
+	// order. Ignored by round-robin.
+	Alpha float64
+	// CacheBuckets is the bucket cache capacity (the paper fixes 20).
+	// Minimum 1.
+	CacheBuckets int
+	// CachePolicy selects the replacement policy; default LRU (paper).
+	CachePolicy cache.PolicyName
+	// HybridThreshold is the queue-to-bucket ratio below which an
+	// out-of-core bucket is joined via the index (paper §3.4; default
+	// 0.03 per Figure 2).
+	HybridThreshold float64
+	// MaterializeResults makes the evaluator produce actual match pairs.
+	// Costs are charged identically either way (DESIGN.md §3).
+	MaterializeResults bool
+
+	// AgeDepreciationGamma enables the §6 QoS extension: the age of a
+	// query's requests is depreciated by 1/(1+γ·ln(1+objects)) so large
+	// batch queries do not starve interactive ones. 0 disables.
+	AgeDepreciationGamma float64
+	// WorkloadMemoryCap bounds the number of workload objects held in
+	// memory (the §6 overflow extension). When the cap is exceeded the
+	// queues of the coldest buckets spill to disk, paying sequential
+	// write cost now and a fetch cost when scheduled. 0 disables.
+	WorkloadMemoryCap int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Store == nil {
+		return c, fmt.Errorf("core: Config.Store is required")
+	}
+	if c.Disk == nil {
+		return c, fmt.Errorf("core: Config.Disk is required")
+	}
+	if c.Clock == nil {
+		return c, fmt.Errorf("core: Config.Clock is required")
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyLifeRaft
+	}
+	if c.Policy != PolicyLifeRaft && c.Policy != PolicyRoundRobin && c.Policy != PolicyLeastShared {
+		return c, fmt.Errorf("core: unknown policy %q", c.Policy)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("core: Alpha %v out of [0,1]", c.Alpha)
+	}
+	if c.CacheBuckets < 1 {
+		c.CacheBuckets = 1
+	}
+	if c.HybridThreshold == 0 {
+		c.HybridThreshold = xmatch.DefaultThreshold
+	}
+	if c.HybridThreshold < 0 || c.HybridThreshold >= 1 {
+		return c, fmt.Errorf("core: HybridThreshold %v out of [0,1)", c.HybridThreshold)
+	}
+	if c.AgeDepreciationGamma < 0 {
+		return c, fmt.Errorf("core: negative AgeDepreciationGamma")
+	}
+	if c.WorkloadMemoryCap < 0 {
+		return c, fmt.Errorf("core: negative WorkloadMemoryCap")
+	}
+	return c, nil
+}
+
+// Job is one query as submitted to a node: the pre-processed list of
+// workload objects plus an optional predicate. (The Query Pre-Processor of
+// Figure 3 produces the Objects list; see workload.Materialize.)
+type Job struct {
+	ID      uint64
+	Objects []xmatch.WorkloadObject
+	Pred    xmatch.Predicate
+}
+
+// Result reports one completed query.
+type Result struct {
+	QueryID   uint64
+	Arrived   time.Time
+	Completed time.Time
+	// Matches is the number of successful cross-match pairs. It is zero
+	// in cost-only mode, where joins are not materialized.
+	Matches int
+	// Assignments is the number of (object, bucket) work units the
+	// query expanded to.
+	Assignments int
+	// Pairs holds the materialized matches when the engine is
+	// configured with MaterializeResults.
+	Pairs []xmatch.Pair
+}
+
+// ResponseTime returns Completed - Arrived.
+func (r Result) ResponseTime() time.Duration { return r.Completed.Sub(r.Arrived) }
+
+// RunStats aggregates a run.
+type RunStats struct {
+	Completed     int
+	Makespan      time.Duration
+	Disk          disk.Stats
+	Cache         cache.Stats
+	BucketsServed int64
+	ScanServices  int64
+	IndexServices int64
+	// SpilledObjects counts workload objects written to disk by the
+	// overflow extension; SpillFetches counts queue fetch-backs.
+	SpilledObjects int64
+	SpillFetches   int64
+}
+
+// Throughput returns completed queries per second of makespan.
+func (s RunStats) Throughput() float64 {
+	if s.Makespan <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Makespan.Seconds()
+}
+
+// String implements fmt.Stringer.
+func (s RunStats) String() string {
+	return fmt.Sprintf("completed=%d makespan=%v throughput=%.4f/s services=%d (scan=%d index=%d) cache=[%v]",
+		s.Completed, s.Makespan.Round(time.Millisecond), s.Throughput(),
+		s.BucketsServed, s.ScanServices, s.IndexServices, s.Cache)
+}
+
+// NewVirtual builds the standard experiment stack: a virtual clock, a disk
+// with the SkyQuery model, a store over the partition (materializing if
+// materialize is set), and a Config pre-filled with paper defaults
+// (LifeRaft policy, 20-bucket LRU cache, 3% hybrid threshold).
+func NewVirtual(part *bucket.Partition, alpha float64, materialize bool) (Config, *simclock.Virtual) {
+	clk := simclock.NewVirtual()
+	d := disk.New(disk.SkyQuery(), clk)
+	st := bucket.NewStore(part, d, materialize)
+	return Config{
+		Store:              st,
+		Disk:               d,
+		Clock:              clk,
+		Policy:             PolicyLifeRaft,
+		Alpha:              alpha,
+		CacheBuckets:       20,
+		CachePolicy:        cache.PolicyLRU,
+		HybridThreshold:    xmatch.DefaultThreshold,
+		MaterializeResults: materialize,
+	}, clk
+}
+
+// bucketObjects is the cached payload: a materialized bucket (nil in
+// cost-only mode, where membership alone matters).
+type bucketObjects []catalog.Object
+
+// NewOn is NewVirtual generalized to a caller-provided clock: federation
+// nodes pass the real clock (deployments) or a shared virtual clock
+// (experiments).
+func NewOn(part *bucket.Partition, alpha float64, materialize bool, clk simclock.Clock) Config {
+	d := disk.New(disk.SkyQuery(), clk)
+	st := bucket.NewStore(part, d, materialize)
+	return Config{
+		Store:              st,
+		Disk:               d,
+		Clock:              clk,
+		Policy:             PolicyLifeRaft,
+		Alpha:              alpha,
+		CacheBuckets:       20,
+		CachePolicy:        cache.PolicyLRU,
+		HybridThreshold:    xmatch.DefaultThreshold,
+		MaterializeResults: materialize,
+	}
+}

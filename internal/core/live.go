@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"liferaft/internal/simclock"
+)
+
+// Live runs the LifeRaft scheduler as a long-lived service: queries are
+// submitted concurrently and results delivered on per-query channels. The
+// scheduling loop owns the workload manager exclusively and services one
+// bucket at a time, exactly as the paper's architecture prescribes
+// ("buckets are read from disk by scheduler one at a time", §3); Submit
+// never blocks on in-progress bucket services.
+//
+// Live is the deployment form a federation node uses (see the federation
+// package); experiments use Run instead, which replays a trace against a
+// virtual clock.
+type Live struct {
+	inbox   chan submission
+	closing chan struct{}
+	done    chan struct{}
+	clock   simclock.Clock
+
+	mu     sync.Mutex
+	closed bool
+
+	// Err reports a scheduler construction failure; checked by callers
+	// of NewLive via the returned error instead.
+	stats   RunStats
+	statsOK bool
+}
+
+type submission struct {
+	job Job
+	ch  chan Result
+	// setAlpha, when non-nil, is a control message instead of a query:
+	// the scheduling loop updates its age bias (the §4 adaptive knob).
+	setAlpha *float64
+}
+
+// Clock returns the engine's time source (set by its Config).
+func (l *Live) Clock() simclock.Clock { return l.clock }
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("core: live engine closed")
+
+// NewLive starts a live engine. The returned engine must be Closed to
+// release its scheduling goroutine.
+func NewLive(cfg Config) (*Live, error) {
+	s, err := newScheduler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		inbox:   make(chan submission, 1024),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		clock:   cfg.Clock,
+	}
+	go l.loop(cfg, s)
+	return l, nil
+}
+
+// Submit enqueues a query. The returned channel delivers exactly one
+// Result when the query completes, then closes.
+func (l *Live) Submit(job Job) (<-chan Result, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ch := make(chan Result, 1)
+	l.inbox <- submission{job: job, ch: ch}
+	l.mu.Unlock()
+	return ch, nil
+}
+
+// SetAlpha changes the engine's age bias for all subsequent scheduling
+// decisions (clamped to [0, 1]). This is the knob the paper's §4 adaptive
+// tuning turns as workload saturation changes; see Adaptive for the
+// closed loop.
+func (l *Live) SetAlpha(alpha float64) error {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.inbox <- submission{setAlpha: &alpha}
+	return nil
+}
+
+// Close stops accepting queries, waits for all submitted queries to
+// complete, and shuts the scheduling loop down. It is idempotent.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.closing)
+	}
+	l.mu.Unlock()
+	<-l.done
+	return nil
+}
+
+// Stats returns the run statistics accumulated up to Close. It is only
+// valid after Close returns.
+func (l *Live) Stats() (RunStats, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats, l.statsOK
+}
+
+func (l *Live) loop(cfg Config, s *scheduler) {
+	defer close(l.done)
+	start := cfg.Clock.Now()
+	waiters := make(map[uint64]chan Result)
+	completed := 0
+
+	deliver := func(rs []Result) {
+		for _, r := range rs {
+			completed++
+			if ch := waiters[r.QueryID]; ch != nil {
+				ch <- r
+				close(ch)
+				delete(waiters, r.QueryID)
+			}
+		}
+	}
+	admit := func(sub submission) {
+		if sub.setAlpha != nil {
+			s.cfg.Alpha = *sub.setAlpha
+			return
+		}
+		waiters[sub.job.ID] = sub.ch
+		if r := s.admit(sub.job, cfg.Clock.Now()); r != nil {
+			deliver([]Result{*r})
+		}
+	}
+	drainInbox := func() {
+		for {
+			select {
+			case sub := <-l.inbox:
+				admit(sub)
+			default:
+				return
+			}
+		}
+	}
+
+	closing := false
+	for {
+		drainInbox()
+		if !s.pendingWork() {
+			if closing {
+				// Definitive drain check: nothing pending and the
+				// inbox is empty after the closing signal.
+				select {
+				case sub := <-l.inbox:
+					admit(sub)
+					continue
+				default:
+				}
+				break
+			}
+			select {
+			case sub := <-l.inbox:
+				admit(sub)
+			case <-l.closing:
+				closing = true
+			}
+			continue
+		}
+		done, _ := s.step(cfg.Clock.Now())
+		deliver(done)
+		if !closing {
+			select {
+			case <-l.closing:
+				closing = true
+			default:
+			}
+		}
+	}
+	l.mu.Lock()
+	l.stats = s.finalize(cfg.Clock.Now().Sub(start), completed)
+	l.statsOK = true
+	l.mu.Unlock()
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"liferaft/internal/cache"
+	"liferaft/internal/xmatch"
+)
+
+// spillObjectBytes is the assumed on-disk footprint of one workload
+// object (position, HTM range, query id) for the overflow extension.
+const spillObjectBytes = 64
+
+// item is one pending work unit: a workload object assigned to a bucket.
+type item struct {
+	wo      xmatch.WorkloadObject
+	arrived time.Time
+	// ageWeight depreciates this request's age in the scheduler metric
+	// (QoS extension); 1 when the extension is off.
+	ageWeight float64
+}
+
+// bqueue is the workload queue of one bucket (the W·j of §3.1).
+type bqueue struct {
+	idx     int
+	items   []item
+	spilled bool
+	// ageFrontier holds the Pareto-dominant (arrived, ageWeight) points
+	// of the queue: an item can only determine A(i) if no earlier item
+	// has an equal-or-greater age weight. Items append in arrival order,
+	// so the frontier's weights are strictly increasing; its length is
+	// bounded by the number of distinct QoS weights, making the
+	// scheduler's age computation O(frontier) instead of O(items).
+	ageFrontier []agePoint
+}
+
+type agePoint struct {
+	arrived time.Time
+	weight  float64
+}
+
+// push appends an item and maintains the age frontier.
+func (q *bqueue) push(it item) {
+	q.items = append(q.items, it)
+	n := len(q.ageFrontier)
+	if n > 0 && q.ageFrontier[n-1].weight >= it.ageWeight {
+		return // dominated: an older item ages at least as fast
+	}
+	q.ageFrontier = append(q.ageFrontier, agePoint{arrived: it.arrived, weight: it.ageWeight})
+}
+
+// queryState tracks one in-flight query.
+type queryState struct {
+	job       Job
+	arrived   time.Time
+	remaining int
+	result    Result
+}
+
+// scheduler is the workload manager plus join evaluator of Figure 3. It is
+// not safe for concurrent use; Run and Live serialize access.
+type scheduler struct {
+	cfg   Config
+	cache cache.Cache[int, bucketObjects]
+
+	queues  map[int]*bqueue
+	queries map[uint64]*queryState
+	preds   map[uint64]xmatch.Predicate
+
+	rrNext     int
+	memObjects int
+	stats      RunStats
+
+	// tbSec and tmSec are the empirical constants of Eq. 1 derived from
+	// the disk model at construction.
+	tbSec float64
+	tmSec float64
+}
+
+func newScheduler(cfg Config) (*scheduler, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.New[int, bucketObjects](cfg.CachePolicy, cfg.CacheBuckets)
+	if err != nil {
+		return nil, err
+	}
+	part := cfg.Store.Partition()
+	if part.NumBuckets() == 0 {
+		return nil, fmt.Errorf("core: partition has no buckets")
+	}
+	tb, tm := cfg.Disk.Model().Calibrate(part.BucketBytes(0))
+	return &scheduler{
+		cfg:     cfg,
+		cache:   c,
+		queues:  make(map[int]*bqueue),
+		queries: make(map[uint64]*queryState),
+		preds:   make(map[uint64]xmatch.Predicate),
+		tbSec:   tb.Seconds(),
+		tmSec:   tm.Seconds(),
+	}, nil
+}
+
+// admit pre-processes a job: every workload object is assigned to the
+// queue of each bucket its bounding HTM range overlaps (the Query
+// Pre-Processor of Figure 3). Queries with no overlapping work complete
+// immediately.
+func (s *scheduler) admit(job Job, arrived time.Time) (done *Result) {
+	if _, dup := s.queries[job.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate query ID %d", job.ID))
+	}
+	qs := &queryState{
+		job:     job,
+		arrived: arrived,
+		result:  Result{QueryID: job.ID, Arrived: arrived},
+	}
+	part := s.cfg.Store.Partition()
+	weight := s.ageWeight(len(job.Objects))
+	for _, wo := range job.Objects {
+		for _, bi := range part.BucketsForRanges(wo.Ranges()) {
+			q := s.queues[bi]
+			if q == nil {
+				q = &bqueue{idx: bi}
+				s.queues[bi] = q
+			}
+			q.push(item{wo: wo, arrived: arrived, ageWeight: weight})
+			if !q.spilled {
+				s.memObjects++
+			}
+			qs.remaining++
+			qs.result.Assignments++
+		}
+	}
+	if qs.remaining == 0 {
+		qs.result.Completed = arrived
+		return &qs.result
+	}
+	s.queries[job.ID] = qs
+	if job.Pred != nil {
+		s.preds[job.ID] = job.Pred
+	}
+	s.maybeSpill()
+	return nil
+}
+
+// ageWeight implements the QoS age-depreciation extension (§6).
+func (s *scheduler) ageWeight(objects int) float64 {
+	g := s.cfg.AgeDepreciationGamma
+	if g == 0 {
+		return 1
+	}
+	return 1 / (1 + g*math.Log1p(float64(objects)))
+}
+
+// maybeSpill enforces the workload memory cap by spilling the queues
+// least likely to be scheduled soon (lowest workload throughput) to disk.
+func (s *scheduler) maybeSpill() {
+	cap := s.cfg.WorkloadMemoryCap
+	if cap == 0 || s.memObjects <= cap {
+		return
+	}
+	for s.memObjects > cap {
+		var victim *bqueue
+		worst := math.Inf(1)
+		for _, q := range s.queues {
+			if q.spilled || len(q.items) == 0 {
+				continue
+			}
+			if ut := s.workloadThroughput(q); ut < worst {
+				worst, victim = ut, q
+			}
+		}
+		if victim == nil {
+			return // everything already spilled
+		}
+		victim.spilled = true
+		s.memObjects -= len(victim.items)
+		s.stats.SpilledObjects += int64(len(victim.items))
+		s.cfg.Disk.ReadSequential(int64(len(victim.items)) * spillObjectBytes) // write cost ≈ read cost
+	}
+}
+
+// pendingWork reports whether any queue holds items.
+func (s *scheduler) pendingWork() bool {
+	for _, q := range s.queues {
+		if len(q.items) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// workloadThroughput computes Ut(i) of Eq. 1 in objects per second:
+//
+//	Ut(i) = |W·i| / (Tb·φ(i) + Tm·|W·i|)
+//
+// where φ(i) is 0 when bucket i is cached.
+func (s *scheduler) workloadThroughput(q *bqueue) float64 {
+	n := float64(len(q.items))
+	if n == 0 {
+		return 0
+	}
+	phi := 1.0
+	if s.cache.Contains(q.idx) {
+		phi = 0
+	}
+	return n / (s.tbSec*phi + s.tmSec*n)
+}
+
+// age returns A(i): the (possibly depreciated) age in seconds of the
+// oldest request in the queue, computed from the dominance frontier.
+func (s *scheduler) age(q *bqueue, now time.Time) float64 {
+	oldest := 0.0
+	for _, p := range q.ageFrontier {
+		if a := now.Sub(p.arrived).Seconds() * p.weight; a > oldest {
+			oldest = a
+		}
+	}
+	return oldest
+}
+
+// pick selects the next bucket to service per the configured policy.
+// ok is false when no queue has work.
+func (s *scheduler) pick(now time.Time) (int, bool) {
+	switch s.cfg.Policy {
+	case PolicyRoundRobin:
+		return s.pickRoundRobin()
+	case PolicyLeastShared:
+		return s.pickLeastShared()
+	default:
+		return s.pickLifeRaft(now)
+	}
+}
+
+// pickLifeRaft evaluates the aged workload throughput metric (Eq. 2)
+// over all non-empty queues:
+//
+//	Ua(i) = Ût(i)·(1-α) + Â(i)·α
+//
+// where Ût and Â are Ut and A normalized to [0,1] over the current
+// non-empty queues (DESIGN.md §3 explains the normalization), and returns
+// the argmax. Ties break toward the lower bucket index, making schedules
+// deterministic.
+func (s *scheduler) pickLifeRaft(now time.Time) (int, bool) {
+	maxUt, maxAge := 0.0, 0.0
+	type scored struct {
+		idx     int
+		ut, age float64
+	}
+	cands := make([]scored, 0, len(s.queues))
+	for _, q := range s.queues {
+		if len(q.items) == 0 {
+			continue
+		}
+		ut := s.workloadThroughput(q)
+		age := s.age(q, now)
+		cands = append(cands, scored{q.idx, ut, age})
+		if ut > maxUt {
+			maxUt = ut
+		}
+		if age > maxAge {
+			maxAge = age
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	alpha := s.cfg.Alpha
+	best, bestScore := -1, -1.0
+	for _, c := range cands {
+		score := 0.0
+		if maxUt > 0 {
+			score += (1 - alpha) * c.ut / maxUt
+		}
+		if maxAge > 0 {
+			score += alpha * c.age / maxAge
+		}
+		if score > bestScore || (score == bestScore && (best < 0 || c.idx < best)) {
+			best, bestScore = c.idx, score
+		}
+	}
+	return best, true
+}
+
+// pickRoundRobin services non-empty buckets cyclically in HTM ID (= index)
+// order, oblivious to queue length and age (§5: the RR baseline).
+func (s *scheduler) pickRoundRobin() (int, bool) {
+	n := s.cfg.Store.Partition().NumBuckets()
+	for off := 0; off < n; off++ {
+		idx := (s.rrNext + off) % n
+		if q, ok := s.queues[idx]; ok && len(q.items) > 0 {
+			s.rrNext = idx + 1
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// pickLeastShared selects the non-empty queue with the fewest pending
+// objects (ties toward the lower index): jobs that benefit least from
+// future co-scheduling run first, after Agrawal et al.'s least-sharable
+// policy for shared file scans (paper §6).
+func (s *scheduler) pickLeastShared() (int, bool) {
+	best, bestLen := -1, 0
+	for _, q := range s.queues {
+		n := len(q.items)
+		if n == 0 {
+			continue
+		}
+		if best < 0 || n < bestLen || (n == bestLen && q.idx < best) {
+			best, bestLen = q.idx, n
+		}
+	}
+	return best, best >= 0
+}
+
+// step services one bucket: it selects per policy, runs the hybrid join
+// evaluator charging all I/O and match costs, and returns the queries
+// completed by this batch. ok is false when no work was pending.
+func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
+	idx, ok := s.pick(now)
+	if !ok {
+		return nil, false
+	}
+	q := s.queues[idx]
+	items := q.items
+	q.items, q.ageFrontier = nil, nil
+	delete(s.queues, idx)
+	if q.spilled {
+		// Fetch the spilled queue back from disk.
+		s.stats.SpillFetches++
+		s.cfg.Disk.ReadSequential(int64(len(items)) * spillObjectBytes)
+	} else {
+		s.memObjects -= len(items)
+	}
+
+	part := s.cfg.Store.Partition()
+	bucketLen := part.Bucket(idx).Count()
+	count := len(items)
+
+	// The Join Evaluator: hybrid strategy per §3.4.
+	objs, inMem := s.cache.Get(idx)
+	strategy := xmatch.ChooseStrategy(count, bucketLen, s.cfg.HybridThreshold, inMem)
+	var pairs []xmatch.Pair
+	wos := make([]xmatch.WorkloadObject, count)
+	for i, it := range items {
+		wos[i] = it.wo
+	}
+	switch strategy {
+	case xmatch.Scan:
+		if !inMem {
+			objs, _ = s.cfg.Store.ReadBucket(idx)
+			s.cache.Put(idx, objs)
+		}
+		s.cfg.Disk.MatchObjects(count)
+		if s.cfg.MaterializeResults {
+			pairs = xmatch.MergeJoin(objs, wos, s.preds)
+		}
+		s.stats.ScanServices++
+	case xmatch.Index:
+		objs, _ = s.cfg.Store.Probe(idx, count)
+		s.cfg.Disk.MatchObjects(count)
+		if s.cfg.MaterializeResults {
+			pairs = xmatch.IndexJoin(objs, wos, s.preds)
+		}
+		s.stats.IndexServices++
+	}
+	s.stats.BucketsServed++
+
+	// Distribute results and retire work units.
+	end := s.cfg.Clock.Now()
+	byQuery := make(map[uint64][]xmatch.Pair)
+	for _, p := range pairs {
+		byQuery[p.QueryID] = append(byQuery[p.QueryID], p)
+	}
+	seen := make(map[uint64]int)
+	for _, it := range items {
+		seen[it.wo.QueryID]++
+	}
+	for qid, n := range seen {
+		qs := s.queries[qid]
+		if qs == nil {
+			panic(fmt.Sprintf("core: work unit for unknown query %d", qid))
+		}
+		qs.remaining -= n
+		if ps := byQuery[qid]; len(ps) > 0 {
+			qs.result.Pairs = append(qs.result.Pairs, ps...)
+			qs.result.Matches += len(ps)
+		}
+		if qs.remaining < 0 {
+			panic(fmt.Sprintf("core: query %d over-completed", qid))
+		}
+		if qs.remaining == 0 {
+			qs.result.Completed = end
+			completed = append(completed, qs.result)
+			delete(s.queries, qid)
+			delete(s.preds, qid)
+		}
+	}
+	return completed, true
+}
+
+// finalize snapshots run statistics.
+func (s *scheduler) finalize(makespan time.Duration, completed int) RunStats {
+	st := s.stats
+	st.Completed = completed
+	st.Makespan = makespan
+	st.Disk = s.cfg.Disk.Stats()
+	st.Cache = s.cache.Stats()
+	return st
+}

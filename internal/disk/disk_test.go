@@ -1,0 +1,179 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"liferaft/internal/simclock"
+)
+
+func TestCalibrationMatchesPaper(t *testing.T) {
+	// The paper derived Tb = 1.2 s for a 40 MB bucket and Tm = 0.13 ms.
+	m := SkyQuery()
+	tb, tm := m.Calibrate(40 << 20)
+	if err := math.Abs(tb.Seconds() - 1.2); err > 0.06 {
+		t.Errorf("Tb = %v, want ~1.2s", tb)
+	}
+	if tm != 130*time.Microsecond {
+		t.Errorf("Tm = %v, want 0.13ms", tm)
+	}
+}
+
+func TestSortedProbeNearBreakEven(t *testing.T) {
+	// The hybrid join break-even (Fig 2) is at a queue of ~3% of a
+	// 10,000-object bucket: 300 probes should cost about one bucket scan.
+	m := SkyQuery()
+	probes := 300 * m.SortedProbe()
+	scan := m.SequentialRead(40 << 20)
+	ratio := float64(probes) / float64(scan)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("300 probes / bucket scan = %.2f, want ~1 (break-even at 3%%)", ratio)
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	m := SkyQuery()
+	if m.SequentialRead(1<<20) >= m.SequentialRead(2<<20) {
+		t.Error("sequential cost should grow with bytes")
+	}
+	if m.SequentialRead(0) != 0 || m.SequentialRead(-5) != 0 {
+		t.Error("non-positive reads are free")
+	}
+	if m.SortedProbe() >= m.RandomRead() {
+		t.Error("sorted probe must be cheaper than a random read")
+	}
+	if m.Match(0) != 0 {
+		t.Error("matching zero objects is free")
+	}
+	if m.Match(10) != 10*m.MatchCost {
+		t.Error("Match is linear")
+	}
+}
+
+func TestDiskChargesVirtualClock(t *testing.T) {
+	clk := simclock.NewVirtual()
+	d := New(SkyQuery(), clk)
+	start := clk.Now()
+	c1 := d.ReadSequential(40 << 20)
+	c2 := d.ReadProbes(10)
+	c3 := d.MatchObjects(100)
+	elapsed := clk.Now().Sub(start)
+	if elapsed != c1+c2+c3 {
+		t.Errorf("clock advanced %v, want %v", elapsed, c1+c2+c3)
+	}
+	st := d.Stats()
+	if st.SeqReads != 1 || st.SeqBytes != 40<<20 || st.Probes != 10 || st.Matches != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BusyTime != elapsed {
+		t.Errorf("busy = %v, want %v", st.BusyTime, elapsed)
+	}
+	if st.String() == "" {
+		t.Error("Stats String empty")
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+	if d.Model() != SkyQuery() {
+		t.Error("Model accessor")
+	}
+}
+
+func TestDiskNilClockDefaultsToReal(t *testing.T) {
+	d := New(SkyQuery(), nil)
+	if d.ReadSequential(0) != 0 {
+		t.Error("zero read should be free")
+	}
+}
+
+func TestVSCANGreedyPrefersNearest(t *testing.T) {
+	v := NewVSCAN(0, 1000)
+	now := simclock.Epoch
+	v.Add(Request{Cylinder: 900, Arrived: now.Add(-time.Hour), ID: 1}) // old but far
+	v.Add(Request{Cylinder: 10, Arrived: now, ID: 2})                  // new but near
+	req, ok := v.Next(now)
+	if !ok || req.ID != 2 {
+		t.Errorf("R=0 should pick nearest, got %+v", req)
+	}
+	if v.Head() != 10 {
+		t.Errorf("head = %d", v.Head())
+	}
+}
+
+func TestVSCANAgedPrefersOldest(t *testing.T) {
+	v := NewVSCAN(1, 1000)
+	now := simclock.Epoch.Add(time.Hour)
+	v.Add(Request{Cylinder: 900, Arrived: simclock.Epoch, ID: 1}) // old, far
+	v.Add(Request{Cylinder: 10, Arrived: now, ID: 2})             // new, near
+	req, ok := v.Next(now)
+	if !ok || req.ID != 1 {
+		t.Errorf("R=1 should pick oldest, got %+v", req)
+	}
+}
+
+func TestVSCANDrainsAll(t *testing.T) {
+	v := NewVSCAN(0.5, 100)
+	now := simclock.Epoch
+	for i := 0; i < 20; i++ {
+		v.Add(Request{Cylinder: i * 5, Arrived: now, ID: i})
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		req, ok := v.Next(now.Add(time.Duration(i) * time.Second))
+		if !ok {
+			t.Fatal("ran out of requests early")
+		}
+		if seen[req.ID] {
+			t.Fatalf("request %d serviced twice", req.ID)
+		}
+		seen[req.ID] = true
+	}
+	if _, ok := v.Next(now); ok {
+		t.Error("Next on empty should fail")
+	}
+	if v.Pending() != 0 {
+		t.Error("pending should be zero")
+	}
+}
+
+func TestVSCANParamClamping(t *testing.T) {
+	if v := NewVSCAN(-1, 0); v.R != 0 || v.Cylinders != 1 {
+		t.Errorf("clamping failed: %+v", v)
+	}
+	if v := NewVSCAN(2, 10); v.R != 1 {
+		t.Errorf("clamping failed: %+v", v)
+	}
+}
+
+// SSTF (R=0) must yield total seek distance no worse than FIFO-ish aged
+// order (R=1) on a scattered batch: the throughput/fairness trade-off the
+// paper's Eq. 2 mirrors.
+func TestVSCANSeekTradeoff(t *testing.T) {
+	run := func(r float64) int {
+		v := NewVSCAN(r, 1000)
+		now := simclock.Epoch
+		cyls := []int{500, 10, 510, 20, 520, 30, 530, 40}
+		for i, c := range cyls {
+			v.Add(Request{Cylinder: c, Arrived: now.Add(time.Duration(i) * time.Millisecond), ID: i})
+		}
+		total, prev := 0, 0
+		for {
+			req, ok := v.Next(now.Add(time.Hour))
+			if !ok {
+				break
+			}
+			d := req.Cylinder - prev
+			if d < 0 {
+				d = -d
+			}
+			total += d
+			prev = req.Cylinder
+		}
+		return total
+	}
+	if greedy, aged := run(0), run(1); greedy > aged {
+		t.Errorf("SSTF total seek %d should not exceed aged order %d", greedy, aged)
+	}
+}

@@ -1,0 +1,384 @@
+// Package federation reproduces the SkyQuery execution environment the
+// paper targets (§1, §3; Malik et al., CIDR 2003): a portal accepts a
+// cross-match query naming several archives, produces a serial left-deep
+// join plan, and ships intermediate object lists from archive to archive
+// until all are cross-matched. Each archive node runs its own LifeRaft
+// engine and batches the cross-match workloads of concurrent queries
+// independently (§6: "Our solution allows individual sites in a cluster or
+// federation to batch queries independently").
+//
+// Two transports are provided: in-process (for tests, experiments, and
+// embedding) and TCP with gob encoding (cmd/liferaftd, cmd/skyquery).
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/catalog"
+	"liferaft/internal/core"
+	"liferaft/internal/geom"
+	"liferaft/internal/htm"
+	"liferaft/internal/simclock"
+	"liferaft/internal/xmatch"
+)
+
+// Object is the wire form of a catalog object shipped between sites.
+type Object struct {
+	ID    uint64
+	HTMID uint64
+	X, Y  float64
+	Z     float64
+	Mag   float64
+}
+
+func fromCatalog(o catalog.Object) Object {
+	return Object{ID: o.ID, HTMID: uint64(o.HTMID), X: o.Pos.X, Y: o.Pos.Y, Z: o.Pos.Z, Mag: o.Mag}
+}
+
+func (o Object) toCatalog() catalog.Object {
+	return catalog.Object{ID: o.ID, HTMID: htm.ID(o.HTMID), Pos: geom.Vec3{X: o.X, Y: o.Y, Z: o.Z}, Mag: o.Mag}
+}
+
+// ExtractRequest asks an archive for its objects within a region — the
+// first step of the plan, run at the driving archive.
+type ExtractRequest struct {
+	QueryID     uint64
+	RA, Dec     float64 // degrees
+	RadiusDeg   float64
+	Selectivity float64 // fraction of region objects shipped, (0,1]
+	Seed        int64   // subsampling seed
+}
+
+// ExtractResponse returns the region objects.
+type ExtractResponse struct {
+	Objects []Object
+}
+
+// MatchRequest ships an intermediate object list to an archive for
+// cross-matching against its local catalog through its LifeRaft engine.
+type MatchRequest struct {
+	QueryID           uint64
+	MatchRadiusArcsec float64
+	// MagLo/MagHi optionally filter local counterparts; both zero means
+	// no predicate.
+	MagLo, MagHi float64
+	Objects      []Object
+}
+
+// MatchPair is one (local, shipped) match.
+type MatchPair struct {
+	Local  Object
+	Remote Object
+}
+
+// MatchResponse returns the matches found at the archive.
+type MatchResponse struct {
+	Pairs []MatchPair
+	// Elapsed is the node-side processing time (virtual or real,
+	// depending on the node's clock).
+	Elapsed time.Duration
+}
+
+// Transport reaches one archive.
+type Transport interface {
+	// Archive returns the archive name served.
+	Archive() (string, error)
+	// Extract runs a region extraction.
+	Extract(req ExtractRequest) (ExtractResponse, error)
+	// Match runs a cross-match.
+	Match(req MatchRequest) (MatchResponse, error)
+}
+
+// NodeConfig configures an archive node.
+type NodeConfig struct {
+	// Catalog is the node's local archive.
+	Catalog *catalog.Catalog
+	// ObjectsPerBucket partitions the archive (paper: 10,000).
+	ObjectsPerBucket int
+	// Engine configures the node's LifeRaft engine. Store/Disk/Clock
+	// fields are constructed by NewNode and must be nil; set policy
+	// knobs (Alpha, CacheBuckets, ...) only.
+	Alpha        float64
+	CacheBuckets int
+	// Clock is the node's time source: virtual clocks make node-side
+	// cost charging instantaneous (tests, experiments); nil means the
+	// real clock (deployments).
+	Clock simclock.Clock
+}
+
+// Node is one archive site: a catalog, its bucket partition, and a live
+// LifeRaft engine batching concurrent cross-match requests.
+type Node struct {
+	name   string
+	cat    *catalog.Catalog
+	part   *bucket.Partition
+	engine *core.Live
+
+	mu     sync.Mutex
+	nextID uint64
+}
+
+// NewNode builds and starts an archive node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("federation: NodeConfig.Catalog is required")
+	}
+	if cfg.ObjectsPerBucket <= 0 {
+		return nil, fmt.Errorf("federation: ObjectsPerBucket must be positive")
+	}
+	part, err := bucket.NewPartition(cfg.Catalog, cfg.ObjectsPerBucket, 0)
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	ecfg := core.NewOn(part, cfg.Alpha, true, clk)
+	if cfg.CacheBuckets > 0 {
+		ecfg.CacheBuckets = cfg.CacheBuckets
+	}
+	eng, err := core.NewLive(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, engine: eng}, nil
+}
+
+// Close shuts the node's engine down after draining.
+func (n *Node) Close() error { return n.engine.Close() }
+
+// Name returns the archive name.
+func (n *Node) Name() string { return n.name }
+
+// Extract implements the driving-archive region scan.
+func (n *Node) Extract(req ExtractRequest) (ExtractResponse, error) {
+	if req.Selectivity <= 0 || req.Selectivity > 1 {
+		return ExtractResponse{}, fmt.Errorf("federation: selectivity %v out of (0,1]", req.Selectivity)
+	}
+	if req.RadiusDeg <= 0 {
+		return ExtractResponse{}, fmt.Errorf("federation: non-positive radius")
+	}
+	cap := geom.NewCap(geom.FromRaDec(req.RA, req.Dec), geom.Radians(req.RadiusDeg))
+	var out []Object
+	for _, o := range n.cat.InCap(cap) {
+		if subsample(req.Seed, req.QueryID, o.ID, req.Selectivity) {
+			out = append(out, fromCatalog(o))
+		}
+	}
+	return ExtractResponse{Objects: out}, nil
+}
+
+// Match implements the cross-match step: the shipped objects become a
+// LifeRaft job; the node's engine batches it with other in-flight queries.
+func (n *Node) Match(req MatchRequest) (MatchResponse, error) {
+	if req.MatchRadiusArcsec <= 0 {
+		return MatchResponse{}, fmt.Errorf("federation: non-positive match radius")
+	}
+	radius := geom.ArcsecToRad(req.MatchRadiusArcsec)
+	// Engine job IDs are node-local: remote query IDs from different
+	// portals may collide.
+	n.mu.Lock()
+	n.nextID++
+	jobID := n.nextID
+	n.mu.Unlock()
+
+	wos := make([]xmatch.WorkloadObject, len(req.Objects))
+	for i, o := range req.Objects {
+		wos[i] = xmatch.NewWorkloadObject(jobID, o.toCatalog(), radius)
+	}
+	var pred xmatch.Predicate
+	if req.MagLo != 0 || req.MagHi != 0 {
+		pred = xmatch.MagnitudeWindow(req.MagLo, req.MagHi)
+	}
+	start := time.Now()
+	ch, err := n.engine.Submit(core.Job{ID: jobID, Objects: wos, Pred: pred})
+	if err != nil {
+		return MatchResponse{}, fmt.Errorf("federation: node %s: %w", n.name, err)
+	}
+	res, ok := <-ch
+	if !ok {
+		return MatchResponse{}, fmt.Errorf("federation: node %s dropped query", n.name)
+	}
+	resp := MatchResponse{Elapsed: time.Since(start)}
+	for _, p := range res.Pairs {
+		resp.Pairs = append(resp.Pairs, MatchPair{Local: fromCatalog(p.Local), Remote: fromCatalog(p.Remote)})
+	}
+	return resp, nil
+}
+
+func subsample(seed int64, qid, oid uint64, p float64) bool {
+	x := uint64(seed) ^ qid*0x9E3779B97F4A7C15 ^ oid*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < p
+}
+
+// Query is a federation cross-match query as the portal accepts it.
+type Query struct {
+	ID                uint64
+	RA, Dec           float64 // region center, degrees
+	RadiusDeg         float64
+	MatchRadiusArcsec float64
+	// Archives lists the archives to cross-match; the first is the
+	// driving archive of the left-deep plan.
+	Archives []string
+	// Selectivity is the shipped fraction at the driving archive.
+	Selectivity float64
+	// MagLo/MagHi optionally constrain every matched archive's objects.
+	MagLo, MagHi float64
+	// Seed drives deterministic subsampling.
+	Seed int64
+}
+
+// Row is one result tuple: the object observed by each archive.
+type Row struct {
+	Objects map[string]Object
+}
+
+// ResultSet is the portal's answer.
+type ResultSet struct {
+	Rows []Row
+	// HopElapsed records per-archive processing time in plan order.
+	HopElapsed map[string]time.Duration
+	// Shipped records how many objects were sent to each archive.
+	Shipped map[string]int
+}
+
+// Portal plans and executes federation queries.
+type Portal struct {
+	mu    sync.Mutex
+	sites map[string]Transport
+}
+
+// NewPortal returns an empty portal.
+func NewPortal() *Portal { return &Portal{sites: make(map[string]Transport)} }
+
+// Register adds an archive transport. Registering a name twice replaces
+// the previous transport.
+func (p *Portal) Register(name string, t Transport) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sites[name] = t
+}
+
+// Archives returns the registered archive names, sorted.
+func (p *Portal) Archives() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.sites))
+	for n := range p.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Portal) site(name string) (Transport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.sites[name]
+	if !ok {
+		return nil, fmt.Errorf("federation: unknown archive %q", name)
+	}
+	return t, nil
+}
+
+// Execute runs the serial left-deep plan: extract at the driving archive,
+// then cross-match the surviving tuple frontier at each subsequent
+// archive, shipping intermediate results site to site (paper §3:
+// "intermediate join results are shipped from database to database until
+// all archives are cross-matched").
+func (p *Portal) Execute(q Query) (*ResultSet, error) {
+	if len(q.Archives) < 2 {
+		return nil, fmt.Errorf("federation: cross-match needs >= 2 archives, got %d", len(q.Archives))
+	}
+	if q.MatchRadiusArcsec <= 0 {
+		return nil, fmt.Errorf("federation: non-positive match radius")
+	}
+	driving := q.Archives[0]
+	site, err := p.site(driving)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := site.Extract(ExtractRequest{
+		QueryID: q.ID, RA: q.RA, Dec: q.Dec, RadiusDeg: q.RadiusDeg,
+		Selectivity: q.Selectivity, Seed: q.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("federation: extract at %s: %w", driving, err)
+	}
+
+	rs := &ResultSet{
+		HopElapsed: make(map[string]time.Duration),
+		Shipped:    make(map[string]int),
+	}
+	// The frontier holds one entry per live tuple: the object the next
+	// archive must match against (the most recently joined object).
+	rows := make([]Row, len(ext.Objects))
+	frontier := make([]Object, len(ext.Objects))
+	for i, o := range ext.Objects {
+		rows[i] = Row{Objects: map[string]Object{driving: o}}
+		frontier[i] = o
+	}
+
+	for _, archive := range q.Archives[1:] {
+		if len(rows) == 0 {
+			break
+		}
+		site, err := p.site(archive)
+		if err != nil {
+			return nil, err
+		}
+		// Ship the frontier, deduplicated by object ID.
+		uniq := make(map[uint64]Object, len(frontier))
+		for _, o := range frontier {
+			uniq[o.ID] = o
+		}
+		shipped := make([]Object, 0, len(uniq))
+		for _, o := range uniq {
+			shipped = append(shipped, o)
+		}
+		sort.Slice(shipped, func(i, j int) bool { return shipped[i].ID < shipped[j].ID })
+		rs.Shipped[archive] = len(shipped)
+
+		resp, err := site.Match(MatchRequest{
+			QueryID: q.ID, MatchRadiusArcsec: q.MatchRadiusArcsec,
+			MagLo: q.MagLo, MagHi: q.MagHi, Objects: shipped,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: match at %s: %w", archive, err)
+		}
+		rs.HopElapsed[archive] = resp.Elapsed
+
+		// Join: each tuple whose frontier object matched extends by the
+		// local counterpart(s); tuples without matches are dropped.
+		byRemote := make(map[uint64][]Object)
+		for _, pr := range resp.Pairs {
+			byRemote[pr.Remote.ID] = append(byRemote[pr.Remote.ID], pr.Local)
+		}
+		var nextRows []Row
+		var nextFrontier []Object
+		for i, row := range rows {
+			for _, local := range byRemote[frontier[i].ID] {
+				nr := Row{Objects: make(map[string]Object, len(row.Objects)+1)}
+				for k, v := range row.Objects {
+					nr.Objects[k] = v
+				}
+				nr.Objects[archive] = local
+				nextRows = append(nextRows, nr)
+				nextFrontier = append(nextFrontier, local)
+			}
+		}
+		rows, frontier = nextRows, nextFrontier
+	}
+	rs.Rows = rows
+	return rs, nil
+}

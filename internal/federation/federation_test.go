@@ -1,0 +1,458 @@
+package federation
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"liferaft/internal/catalog"
+	"liferaft/internal/geom"
+	"liferaft/internal/simclock"
+)
+
+// fedFixture builds a three-archive federation over one shared virtual
+// clock: sdss is the base survey; twomass and usnob re-observe it.
+type fedFixture struct {
+	sdss, twomass, usnob *Node
+	portal               *Portal
+}
+
+var (
+	fedOnce sync.Once
+	fedCats [3]*catalog.Catalog
+)
+
+func newFixture(t *testing.T) *fedFixture {
+	t.Helper()
+	fedOnce.Do(func() {
+		base, err := catalog.New(catalog.Config{
+			Name: "sdss", N: 40000, Seed: 11, GenLevel: 4, CacheTrixels: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := catalog.NewDerived(base, catalog.DerivedConfig{
+			Name: "twomass", Seed: 12, Fraction: 0.7,
+			JitterRad: geom.ArcsecToRad(1), CacheTrixels: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := catalog.NewDerived(base, catalog.DerivedConfig{
+			Name: "usnob", Seed: 13, Fraction: 0.6,
+			JitterRad: geom.ArcsecToRad(1), CacheTrixels: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fedCats = [3]*catalog.Catalog{base, tm, ub}
+	})
+	clk := simclock.NewVirtual()
+	mk := func(c *catalog.Catalog) *Node {
+		n, err := NewNode(NodeConfig{Catalog: c, ObjectsPerBucket: 400, Alpha: 0.25, Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	f := &fedFixture{sdss: mk(fedCats[0]), twomass: mk(fedCats[1]), usnob: mk(fedCats[2])}
+	f.portal = NewPortal()
+	f.portal.Register("sdss", InProc{f.sdss})
+	f.portal.Register("twomass", InProc{f.twomass})
+	f.portal.Register("usnob", InProc{f.usnob})
+	t.Cleanup(func() {
+		f.sdss.Close()
+		f.twomass.Close()
+		f.usnob.Close()
+	})
+	return f
+}
+
+func testQuery() Query {
+	return Query{
+		ID: 1, RA: 150, Dec: 20, RadiusDeg: 5,
+		MatchRadiusArcsec: 5, Selectivity: 0.5,
+		Archives: []string{"twomass", "sdss"}, Seed: 42,
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(NodeConfig{}); err == nil {
+		t.Error("nil catalog should fail")
+	}
+	c, _ := catalog.New(catalog.Config{Name: "x", N: 100, Seed: 1, GenLevel: 2})
+	if _, err := NewNode(NodeConfig{Catalog: c}); err == nil {
+		t.Error("zero bucket size should fail")
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.sdss.Extract(ExtractRequest{Selectivity: 0, RadiusDeg: 1}); err == nil {
+		t.Error("zero selectivity should fail")
+	}
+	if _, err := f.sdss.Extract(ExtractRequest{Selectivity: 0.5, RadiusDeg: 0}); err == nil {
+		t.Error("zero radius should fail")
+	}
+	if _, err := f.sdss.Match(MatchRequest{}); err == nil {
+		t.Error("zero match radius should fail")
+	}
+}
+
+func TestExtractSubsamples(t *testing.T) {
+	f := newFixture(t)
+	full, err := f.sdss.Extract(ExtractRequest{
+		QueryID: 1, RA: 150, Dec: 20, RadiusDeg: 5, Selectivity: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := f.sdss.Extract(ExtractRequest{
+		QueryID: 1, RA: 150, Dec: 20, RadiusDeg: 5, Selectivity: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Objects) == 0 {
+		t.Fatal("no objects extracted")
+	}
+	ratio := float64(len(half.Objects)) / float64(len(full.Objects))
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("subsample ratio %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestTwoArchiveCrossMatch(t *testing.T) {
+	f := newFixture(t)
+	rs, err := f.portal.Execute(testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("cross-match of correlated catalogs found nothing")
+	}
+	radius := geom.ArcsecToRad(5)
+	for _, row := range rs.Rows {
+		a, ok1 := row.Objects["twomass"]
+		b, ok2 := row.Objects["sdss"]
+		if !ok1 || !ok2 {
+			t.Fatal("row missing an archive")
+		}
+		sep := a.toCatalog().Pos.Angle(b.toCatalog().Pos)
+		if sep > radius+geom.Epsilon {
+			t.Fatalf("matched pair separated by %v arcsec", geom.RadToArcsec(sep))
+		}
+	}
+	if rs.Shipped["sdss"] == 0 {
+		t.Error("shipment accounting missing")
+	}
+	if _, ok := rs.HopElapsed["sdss"]; !ok {
+		t.Error("hop timing missing")
+	}
+}
+
+func TestThreeArchivePlan(t *testing.T) {
+	f := newFixture(t)
+	q := testQuery()
+	q.Archives = []string{"twomass", "sdss", "usnob"}
+	rs, err := f.portal.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("three-way cross-match found nothing")
+	}
+	for _, row := range rs.Rows {
+		if len(row.Objects) != 3 {
+			t.Fatalf("row has %d archives, want 3", len(row.Objects))
+		}
+	}
+	// The three-way result must be a subset of the two-way result count:
+	// every surviving tuple also matched at sdss.
+	q2 := testQuery()
+	rs2, err := f.portal.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) > len(rs2.Rows)*3 {
+		t.Errorf("three-way rows %d wildly exceed two-way %d", len(rs.Rows), len(rs2.Rows))
+	}
+}
+
+func TestPortalValidation(t *testing.T) {
+	f := newFixture(t)
+	q := testQuery()
+	q.Archives = []string{"sdss"}
+	if _, err := f.portal.Execute(q); err == nil {
+		t.Error("single-archive plan should fail")
+	}
+	q = testQuery()
+	q.Archives = []string{"nope", "sdss"}
+	if _, err := f.portal.Execute(q); err == nil || !strings.Contains(err.Error(), "unknown archive") {
+		t.Errorf("unknown archive error = %v", err)
+	}
+	q = testQuery()
+	q.MatchRadiusArcsec = 0
+	if _, err := f.portal.Execute(q); err == nil {
+		t.Error("zero radius plan should fail")
+	}
+	got := f.portal.Archives()
+	if len(got) != 3 || got[0] != "sdss" {
+		t.Errorf("Archives = %v", got)
+	}
+}
+
+func TestPredicatePushdown(t *testing.T) {
+	f := newFixture(t)
+	q := testQuery()
+	q.MagLo, q.MagHi = 15, 18
+	rs, err := f.portal.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rs.Rows {
+		if m := row.Objects["sdss"].Mag; m < 15 || m >= 18 {
+			t.Fatalf("predicate violated: mag %v", m)
+		}
+	}
+}
+
+func TestConcurrentPortalQueries(t *testing.T) {
+	f := newFixture(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	counts := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := testQuery()
+			q.ID = uint64(100 + i)
+			q.RA = 150 + float64(i)*2
+			rs, err := f.portal.Execute(q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = len(rs.Rows)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if counts[i] == 0 {
+			t.Errorf("query %d found nothing", i)
+		}
+	}
+}
+
+func TestTCPTransportEquivalence(t *testing.T) {
+	f := newFixture(t)
+	srv, err := Serve(f.sdss, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := Dial(srv.Addr().String())
+	defer cli.Close()
+
+	name, err := cli.Archive()
+	if err != nil || name != "sdss" {
+		t.Fatalf("Archive() = %q, %v", name, err)
+	}
+
+	// The same requests through TCP and in-proc must agree exactly.
+	ereq := ExtractRequest{QueryID: 9, RA: 150, Dec: 20, RadiusDeg: 3, Selectivity: 0.8, Seed: 5}
+	over, err := cli.Extract(ereq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.sdss.Extract(ereq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over.Objects) != len(direct.Objects) {
+		t.Fatalf("TCP extract %d objects, direct %d", len(over.Objects), len(direct.Objects))
+	}
+	for i := range over.Objects {
+		if over.Objects[i] != direct.Objects[i] {
+			t.Fatalf("object %d differs over TCP", i)
+		}
+	}
+
+	mreq := MatchRequest{QueryID: 9, MatchRadiusArcsec: 5, Objects: over.Objects}
+	mOver, err := cli.Match(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mDirect, err := f.sdss.Match(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mOver.Pairs) != len(mDirect.Pairs) {
+		t.Fatalf("TCP match %d pairs, direct %d", len(mOver.Pairs), len(mDirect.Pairs))
+	}
+
+	// Server-side errors propagate as client errors.
+	if _, err := cli.Extract(ExtractRequest{Selectivity: -1, RadiusDeg: 1}); err == nil {
+		t.Error("server-side validation error should propagate")
+	}
+	// The connection survives an application error.
+	if _, err := cli.Archive(); err != nil {
+		t.Errorf("connection should survive app errors: %v", err)
+	}
+}
+
+func TestTCPPortalEndToEnd(t *testing.T) {
+	f := newFixture(t)
+	srvA, err := Serve(f.twomass, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := Serve(f.sdss, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	p := NewPortal()
+	p.Register("twomass", Dial(srvA.Addr().String()))
+	p.Register("sdss", Dial(srvB.Addr().String()))
+	rs, err := p.Execute(testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.portal.Execute(testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != len(direct.Rows) {
+		t.Errorf("TCP federation %d rows, in-proc %d", len(rs.Rows), len(direct.Rows))
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	cli := Dial("127.0.0.1:1") // nothing listens there
+	if _, err := cli.Archive(); err == nil {
+		t.Error("dial to dead address should fail")
+	}
+}
+
+func TestServerSurvivesGarbageClient(t *testing.T) {
+	f := newFixture(t)
+	srv, err := Serve(f.sdss, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A client that speaks the wrong protocol version is dropped.
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "HTTP/1.1\n")
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	conn.Read(buf) // server banner
+	_, err = conn.Read(buf)
+	if err == nil {
+		// One more read must observe the close.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err = conn.Read(buf); err == nil {
+			t.Error("server should drop protocol-mismatched clients")
+		}
+	}
+	conn.Close()
+
+	// A well-behaved client still works afterwards.
+	cli := Dial(srv.Addr().String())
+	defer cli.Close()
+	if name, err := cli.Archive(); err != nil || name != "sdss" {
+		t.Fatalf("healthy client broken after garbage client: %q, %v", name, err)
+	}
+}
+
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	f := newFixture(t)
+	srv, err := Serve(f.sdss, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	cli := Dial(addr)
+	defer cli.Close()
+	if _, err := cli.Archive(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The broken connection must surface as an error...
+	if _, err := cli.Archive(); err == nil {
+		t.Fatal("request against a closed server should fail")
+	}
+	// ...and a new server on the same address must be reachable again
+	// through the same client (lazy re-dial).
+	srv2, err := Serve(f.sdss, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if name, err := cli.Archive(); err != nil || name != "sdss" {
+		t.Fatalf("reconnect failed: %q, %v", name, err)
+	}
+}
+
+func TestUnknownRPCKindRejected(t *testing.T) {
+	f := newFixture(t)
+	srv, err := Serve(f.sdss, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := Dial(srv.Addr().String())
+	defer cli.Close()
+	resp, err := cli.roundTrip(rpcRequest{Kind: "bogus"})
+	if err == nil {
+		t.Errorf("unknown kind should error, got %+v", resp)
+	}
+	// Missing payloads are application errors, not connection killers.
+	if _, err := cli.roundTrip(rpcRequest{Kind: "extract"}); err == nil {
+		t.Error("missing extract payload should error")
+	}
+	if _, err := cli.roundTrip(rpcRequest{Kind: "match"}); err == nil {
+		t.Error("missing match payload should error")
+	}
+	if _, err := cli.Archive(); err != nil {
+		t.Errorf("connection should survive: %v", err)
+	}
+}
+
+func TestPortalEmptyExtraction(t *testing.T) {
+	f := newFixture(t)
+	// A region with guaranteed-zero shipped objects (selectivity tiny in
+	// an empty pole region) yields zero rows, not an error.
+	q := testQuery()
+	q.RA, q.Dec, q.RadiusDeg = 0, 89.9, 0.01
+	q.Selectivity = 0.0001
+	rs, err := f.portal.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Errorf("expected no rows, got %d", len(rs.Rows))
+	}
+}
+
+func TestObjectWireRoundTrip(t *testing.T) {
+	o := catalog.Object{ID: 5, HTMID: 1 << 31, Pos: geom.FromRaDec(10, 20), Mag: 17.5}
+	back := fromCatalog(o).toCatalog()
+	if back != o {
+		t.Errorf("wire round trip: %+v != %+v", back, o)
+	}
+}

@@ -1,0 +1,275 @@
+package federation
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// InProc adapts a Node to the Transport interface directly, for embedded
+// federations (tests, experiments, single-process demos).
+type InProc struct {
+	Node *Node
+}
+
+// Archive implements Transport.
+func (t InProc) Archive() (string, error) { return t.Node.Name(), nil }
+
+// Extract implements Transport.
+func (t InProc) Extract(req ExtractRequest) (ExtractResponse, error) { return t.Node.Extract(req) }
+
+// Match implements Transport.
+func (t InProc) Match(req MatchRequest) (MatchResponse, error) { return t.Node.Match(req) }
+
+// Wire protocol: a version handshake line, then length-free gob streams of
+// request/response envelopes. One request per round trip; connections are
+// reused by the client transport.
+
+// protoVersion guards against cross-version deployments.
+const protoVersion = "LIFERAFT/1"
+
+type rpcRequest struct {
+	Kind    string // "archive" | "extract" | "match"
+	Extract *ExtractRequest
+	Match   *MatchRequest
+}
+
+type rpcResponse struct {
+	Err     string
+	Archive string
+	Extract *ExtractResponse
+	Match   *MatchResponse
+}
+
+// Server serves a Node over TCP.
+type Server struct {
+	node *Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving node on addr (e.g. "127.0.0.1:7701"). It returns
+// once the listener is bound; connections are handled in the background.
+func Serve(node *Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: listen %s: %w", addr, err)
+	}
+	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and all connections. The node itself is not
+// closed (the caller owns it).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	// Handshake.
+	if _, err := fmt.Fprintf(conn, "%s\n", protoVersion); err != nil {
+		return
+	}
+	var client string
+	if _, err := fmt.Fscanf(conn, "%s\n", &client); err != nil || client != protoVersion {
+		return
+	}
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp rpcResponse
+		switch req.Kind {
+		case "archive":
+			resp.Archive = s.node.Name()
+		case "extract":
+			if req.Extract == nil {
+				resp.Err = "federation: extract request missing payload"
+				break
+			}
+			r, err := s.node.Extract(*req.Extract)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Extract = &r
+			}
+		case "match":
+			if req.Match == nil {
+				resp.Err = "federation: match request missing payload"
+				break
+			}
+			r, err := s.node.Match(*req.Match)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Match = &r
+			}
+		default:
+			resp.Err = fmt.Sprintf("federation: unknown request kind %q", req.Kind)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a TCP Transport to a remote archive node. It holds one
+// connection, re-dialing on demand, and serializes round trips. It is safe
+// for concurrent use.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial returns a client for the node at addr. The connection is
+// established lazily on first use.
+func Dial(addr string) *Client { return &Client{addr: addr} }
+
+func (c *Client) connect() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("federation: dial %s: %w", c.addr, err)
+	}
+	var server string
+	if _, err := fmt.Fscanf(conn, "%s\n", &server); err != nil {
+		conn.Close()
+		return fmt.Errorf("federation: handshake read: %w", err)
+	}
+	if server != protoVersion {
+		conn.Close()
+		return fmt.Errorf("federation: protocol mismatch: server speaks %q", server)
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", protoVersion); err != nil {
+		conn.Close()
+		return fmt.Errorf("federation: handshake write: %w", err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+func (c *Client) roundTrip(req rpcRequest) (rpcResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connect(); err != nil {
+		return rpcResponse{}, err
+	}
+	var resp rpcResponse
+	if err := c.enc.Encode(&req); err != nil {
+		c.reset()
+		return rpcResponse{}, fmt.Errorf("federation: send: %w", err)
+	}
+	if err := c.dec.Decode(&resp); err != nil {
+		c.reset()
+		return rpcResponse{}, fmt.Errorf("federation: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return rpcResponse{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *Client) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.enc, c.dec = nil, nil, nil
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+	return nil
+}
+
+// Archive implements Transport.
+func (c *Client) Archive() (string, error) {
+	resp, err := c.roundTrip(rpcRequest{Kind: "archive"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Archive, nil
+}
+
+// Extract implements Transport.
+func (c *Client) Extract(req ExtractRequest) (ExtractResponse, error) {
+	resp, err := c.roundTrip(rpcRequest{Kind: "extract", Extract: &req})
+	if err != nil {
+		return ExtractResponse{}, err
+	}
+	if resp.Extract == nil {
+		return ExtractResponse{}, errors.New("federation: empty extract response")
+	}
+	return *resp.Extract, nil
+}
+
+// Match implements Transport.
+func (c *Client) Match(req MatchRequest) (MatchResponse, error) {
+	resp, err := c.roundTrip(rpcRequest{Kind: "match", Match: &req})
+	if err != nil {
+		return MatchResponse{}, err
+	}
+	if resp.Match == nil {
+		return MatchResponse{}, errors.New("federation: empty match response")
+	}
+	return *resp.Match, nil
+}

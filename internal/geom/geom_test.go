@@ -1,0 +1,318 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasics(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(zero) = %v, want zero", got)
+	}
+	n := Vec3{10, 0, 0}.Normalize()
+	if !almostEq(n.Norm(), 1, 1e-15) {
+		t.Errorf("Normalize length = %v", n.Norm())
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	m := a.Mid(b)
+	if !almostEq(m.Norm(), 1, 1e-15) {
+		t.Errorf("Mid not unit: %v", m.Norm())
+	}
+	if !almostEq(m.Angle(a), m.Angle(b), 1e-12) {
+		t.Errorf("Mid not equidistant: %v vs %v", m.Angle(a), m.Angle(b))
+	}
+}
+
+func TestAngle(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	cases := []struct {
+		b    Vec3
+		want float64
+	}{
+		{Vec3{1, 0, 0}, 0},
+		{Vec3{0, 1, 0}, math.Pi / 2},
+		{Vec3{-1, 0, 0}, math.Pi},
+	}
+	for _, c := range cases {
+		if got := a.Angle(c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleSmallSeparation(t *testing.T) {
+	// One arcsecond separation must be resolved accurately: cross-match
+	// radii are a few arcseconds.
+	a := FromRaDec(10, 20)
+	b := FromRaDec(10+1.0/3600/math.Cos(Radians(20)), 20)
+	got := RadToArcsec(a.Angle(b))
+	if !almostEq(got, 1, 1e-6) {
+		t.Errorf("1-arcsec separation measured as %v arcsec", got)
+	}
+}
+
+func TestRaDecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*180 - 90
+		v := FromRaDec(ra, dec)
+		if !almostEq(v.Norm(), 1, 1e-12) {
+			t.Fatalf("FromRaDec(%v,%v) not unit", ra, dec)
+		}
+		ra2, dec2 := ToRaDec(v)
+		sep := v.Angle(FromRaDec(ra2, dec2))
+		if sep > 1e-9 {
+			t.Fatalf("round trip moved point by %v rad (ra=%v dec=%v)", sep, ra, dec)
+		}
+	}
+}
+
+func TestRaDecEdgeCases(t *testing.T) {
+	// Poles: RA pinned to 0.
+	ra, dec := ToRaDec(Vec3{0, 0, 1})
+	if ra != 0 || !almostEq(dec, 90, 1e-9) {
+		t.Errorf("north pole = (%v,%v)", ra, dec)
+	}
+	ra, dec = ToRaDec(Vec3{0, 0, -1})
+	if ra != 0 || !almostEq(dec, -90, 1e-9) {
+		t.Errorf("south pole = (%v,%v)", ra, dec)
+	}
+	// RA wraps.
+	if got := FromRaDec(370, 0).Angle(FromRaDec(10, 0)); got > 1e-12 {
+		t.Errorf("RA wrap failed: %v", got)
+	}
+	if got := FromRaDec(-10, 0).Angle(FromRaDec(350, 0)); got > 1e-12 {
+		t.Errorf("negative RA wrap failed: %v", got)
+	}
+	// Dec clamps.
+	if got := FromRaDec(0, 100).Angle(Vec3{0, 0, 1}); got > 1e-12 {
+		t.Errorf("dec clamp failed: %v", got)
+	}
+}
+
+func TestDegreeConversions(t *testing.T) {
+	if !almostEq(Degrees(math.Pi), 180, 1e-12) {
+		t.Error("Degrees")
+	}
+	if !almostEq(Radians(180), math.Pi, 1e-12) {
+		t.Error("Radians")
+	}
+	if !almostEq(RadToArcsec(ArcsecToRad(3.5)), 3.5, 1e-9) {
+		t.Error("arcsec round trip")
+	}
+}
+
+func TestCapContains(t *testing.T) {
+	c := NewCap(FromRaDec(0, 0), Radians(10))
+	if !c.Contains(FromRaDec(5, 0)) {
+		t.Error("point at 5 deg should be inside 10-deg cap")
+	}
+	if c.Contains(FromRaDec(15, 0)) {
+		t.Error("point at 15 deg should be outside 10-deg cap")
+	}
+	if !c.Contains(FromRaDec(0, 10)) {
+		t.Error("boundary point should be inside (inclusive)")
+	}
+	if !almostEq(c.Radius(), Radians(10), 1e-12) {
+		t.Errorf("Radius = %v", Degrees(c.Radius()))
+	}
+}
+
+func TestCapIntersectsArc(t *testing.T) {
+	c := NewCap(FromRaDec(0, 0), Radians(5))
+	// Arc passing through the cap center region.
+	a := FromRaDec(350, 0)
+	b := FromRaDec(10, 0)
+	if !c.IntersectsArc(a, b) {
+		t.Error("equatorial arc through cap should intersect")
+	}
+	// Arc whose closest approach is inside the cap but endpoints outside.
+	a2 := FromRaDec(-20, 3)
+	b2 := FromRaDec(20, 3)
+	if !c.IntersectsArc(a2, b2) {
+		t.Error("arc grazing within 3 deg should intersect a 5-deg cap")
+	}
+	// Arc far away.
+	a3 := FromRaDec(0, 60)
+	b3 := FromRaDec(90, 60)
+	if c.IntersectsArc(a3, b3) {
+		t.Error("distant arc should not intersect")
+	}
+	// Arc on the same great circle but on the far side.
+	a4 := FromRaDec(90, 0)
+	b4 := FromRaDec(170, 0)
+	if c.IntersectsArc(a4, b4) {
+		t.Error("far segment of the same great circle should not intersect")
+	}
+	// Endpoint inside.
+	if !c.IntersectsArc(FromRaDec(2, 0), FromRaDec(40, 40)) {
+		t.Error("arc with an endpoint inside must intersect")
+	}
+}
+
+func TestTriangleContains(t *testing.T) {
+	tri := Triangle{Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}} // octant
+	if !tri.Contains(Vec3{1, 1, 1}.Normalize()) {
+		t.Error("centroid should be inside")
+	}
+	if !tri.Contains(Vec3{1, 0, 0}) {
+		t.Error("vertex should be inside (inclusive)")
+	}
+	if !tri.Contains(Vec3{1, 1, 0}.Normalize()) {
+		t.Error("edge midpoint should be inside (inclusive)")
+	}
+	if tri.Contains(Vec3{-1, 0, 0}) {
+		t.Error("antipode should be outside")
+	}
+	if tri.Contains(Vec3{1, 1, -0.1}.Normalize()) {
+		t.Error("point below the xy edge should be outside")
+	}
+}
+
+func TestTriangleCenterAndArea(t *testing.T) {
+	tri := Triangle{Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}
+	c := tri.Center()
+	if !tri.Contains(c) {
+		t.Error("center should be contained")
+	}
+	// An octant is 1/8 of the sphere: area 4*pi/8.
+	if got, want := tri.Area(), math.Pi/2; !almostEq(got, want, 1e-9) {
+		t.Errorf("octant area = %v, want %v", got, want)
+	}
+	vs := tri.Vertices()
+	if vs[0] != tri.V0 || vs[1] != tri.V1 || vs[2] != tri.V2 {
+		t.Error("Vertices order")
+	}
+}
+
+func TestCapRelation(t *testing.T) {
+	tri := Triangle{Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}
+	// Tiny cap at the centroid: Partial (cap inside triangle, no vertex in cap).
+	if got := tri.CapRelation(NewCap(tri.Center(), Radians(1))); got != Partial {
+		t.Errorf("tiny interior cap: %v, want partial", got)
+	}
+	// Huge cap containing the whole octant.
+	if got := tri.CapRelation(NewCap(tri.Center(), Radians(89))); got != Inside {
+		t.Errorf("enclosing cap: %v, want inside", got)
+	}
+	// Cap far away.
+	if got := tri.CapRelation(NewCap(Vec3{-1, -1, -1}.Normalize(), Radians(10))); got != Disjoint {
+		t.Errorf("distant cap: %v, want disjoint", got)
+	}
+	// Cap straddling an edge.
+	edge := Vec3{1, 1, 0}.Normalize()
+	if got := tri.CapRelation(NewCap(edge, Radians(5))); got != Partial {
+		t.Errorf("edge cap: %v, want partial", got)
+	}
+	// Cap covering one vertex only.
+	if got := tri.CapRelation(NewCap(Vec3{1, 0, 0}, Radians(5))); got != Partial {
+		t.Errorf("vertex cap: %v, want partial", got)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if Disjoint.String() != "disjoint" || Partial.String() != "partial" || Inside.String() != "inside" {
+		t.Error("Relation strings")
+	}
+	if Relation(9).String() != "Relation(9)" {
+		t.Error("unknown Relation string")
+	}
+}
+
+func randUnit(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if v.Norm() > 1e-6 {
+			return v.Normalize()
+		}
+	}
+}
+
+// Property: CapRelation never reports Disjoint for a cap that contains a
+// point of the triangle, and never reports Inside when some point of the
+// triangle is outside the cap (sampled).
+func TestCapRelationConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		// Random smallish triangle.
+		a := randUnit(rng)
+		b := a.Add(randUnit(rng).Scale(0.3)).Normalize()
+		c := a.Add(randUnit(rng).Scale(0.3)).Normalize()
+		// Orient counterclockwise.
+		if a.Cross(b).Dot(c) < 0 {
+			b, c = c, b
+		}
+		tri := Triangle{a, b, c}
+		cap := NewCap(randUnit(rng), rng.Float64()*0.5)
+		rel := tri.CapRelation(cap)
+
+		// Sample points inside the triangle.
+		for s := 0; s < 30; s++ {
+			u, v := rng.Float64(), rng.Float64()
+			if u+v > 1 {
+				u, v = 1-u, 1-v
+			}
+			p := a.Scale(1 - u - v).Add(b.Scale(u)).Add(c.Scale(v)).Normalize()
+			inCap := cap.Contains(p)
+			if inCap && rel == Disjoint {
+				t.Fatalf("iter %d: relation disjoint but sampled point in cap", iter)
+			}
+			if !inCap && rel == Inside {
+				t.Fatalf("iter %d: relation inside but sampled point outside cap", iter)
+			}
+		}
+	}
+}
+
+// Property: FromRaDec always produces unit vectors and Angle is symmetric
+// and bounded.
+func TestQuickAngleProperties(t *testing.T) {
+	f := func(ra1, dec1, ra2, dec2 float64) bool {
+		a := FromRaDec(math.Mod(ra1, 360), math.Mod(dec1, 90))
+		b := FromRaDec(math.Mod(ra2, 360), math.Mod(dec2, 90))
+		ang := a.Angle(b)
+		return almostEq(a.Norm(), 1, 1e-9) && ang >= 0 && ang <= math.Pi+1e-9 &&
+			almostEq(ang, b.Angle(a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if s := (Vec3{1, 0, 0}).String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,521 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"liferaft/internal/geom"
+)
+
+func TestFaceIDs(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		id := FaceID(i)
+		if uint64(id) != uint64(8+i) {
+			t.Errorf("FaceID(%d) = %d", i, id)
+		}
+		if !id.Valid() || id.Level() != 0 {
+			t.Errorf("FaceID(%d) invalid or wrong level", i)
+		}
+		if id.FaceIndex() != i {
+			t.Errorf("FaceIndex of face %d = %d", i, id.FaceIndex())
+		}
+	}
+}
+
+func TestFaceIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FaceID(8) should panic")
+		}
+	}()
+	FaceID(8)
+}
+
+func TestValidity(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want bool
+	}{
+		{0, false}, {1, false}, {7, false},
+		{8, true}, {15, true},
+		{16, false}, {31, false}, // odd bit length
+		{32, true}, {63, true}, // level 1
+		{ID(8) << (2 * MaxLevel), true},
+		{ID(8) << (2 * (MaxLevel + 1)), false},
+	}
+	for _, c := range cases {
+		if got := c.id.Valid(); got != c.want {
+			t.Errorf("Valid(%#x) = %v, want %v", uint64(c.id), got, c.want)
+		}
+	}
+}
+
+func TestLevelPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Level of invalid ID should panic")
+		}
+	}()
+	ID(3).Level()
+}
+
+func TestParentChild(t *testing.T) {
+	id := FaceID(2)
+	for i := 0; i < 4; i++ {
+		c := id.Child(i)
+		if c.Parent() != id {
+			t.Errorf("Parent(Child(%d)) != id", i)
+		}
+		if c.ChildIndex() != i {
+			t.Errorf("ChildIndex = %d, want %d", c.ChildIndex(), i)
+		}
+		if c.Level() != 1 {
+			t.Errorf("child level = %d", c.Level())
+		}
+	}
+}
+
+func TestParentPanicsAtRoot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Parent of face should panic")
+		}
+	}()
+	FaceID(0).Parent()
+}
+
+func TestLevel14Is32Bits(t *testing.T) {
+	// The paper: SkyQuery assigns 32-bit level-14 HTM IDs.
+	if got := LastAtLevel(PaperLevel); got >= 1<<32 {
+		t.Errorf("level-14 IDs exceed 32 bits: %#x", uint64(got))
+	}
+	if got := FirstAtLevel(PaperLevel); got != ID(8)<<28 {
+		t.Errorf("FirstAtLevel(14) = %#x", uint64(got))
+	}
+	if NumTrixels(PaperLevel) != 8*1<<28 {
+		t.Errorf("NumTrixels(14) = %d", NumTrixels(PaperLevel))
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		level := rng.Intn(MaxLevel + 1)
+		id := FromPos(uint64(rng.Int63n(int64(NumTrixels(level)))), level)
+		name := id.Name()
+		back, err := ParseName(name)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", name, err)
+		}
+		if back != id {
+			t.Fatalf("round trip %q: %#x != %#x", name, uint64(back), uint64(id))
+		}
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	for _, bad := range []string{"", "N", "X0", "N04", "N0123456789012345678901", "Na"} {
+		if _, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if FaceID(4).String() != "N0" {
+		t.Errorf("N0 name = %q", FaceID(4).String())
+	}
+	if FaceID(0).Child(3).String() != "S03" {
+		t.Errorf("S03 name = %q", FaceID(0).Child(3).String())
+	}
+	if ID(0).String() == "" {
+		t.Error("invalid ID String should be non-empty")
+	}
+}
+
+func TestPosRoundTrip(t *testing.T) {
+	for level := 0; level <= 6; level++ {
+		n := NumTrixels(level)
+		for _, pos := range []uint64{0, 1, n / 2, n - 1} {
+			id := FromPos(pos, level)
+			if id.Pos() != pos || id.Level() != level {
+				t.Errorf("FromPos(%d,%d) round trip failed", pos, level)
+			}
+		}
+	}
+}
+
+func TestFromPosPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromPos out of range should panic")
+		}
+	}()
+	FromPos(NumTrixels(3), 3)
+}
+
+func TestTrianglesPartitionSphere(t *testing.T) {
+	// The 8 faces cover the sphere and their areas sum to 4*pi.
+	total := 0.0
+	for i := 0; i < 8; i++ {
+		total += FaceTriangle(i).Area()
+	}
+	if math.Abs(total-4*math.Pi) > 1e-9 {
+		t.Errorf("face areas sum to %v, want 4*pi", total)
+	}
+}
+
+func TestChildrenPartitionParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		level := rng.Intn(5)
+		id := FromPos(uint64(rng.Int63n(int64(NumTrixels(level)))), level)
+		parentArea := id.Triangle().Area()
+		var childArea float64
+		for c := 0; c < 4; c++ {
+			childArea += id.Child(c).Triangle().Area()
+		}
+		if math.Abs(parentArea-childArea) > 1e-9*parentArea {
+			t.Fatalf("children of %s do not partition parent: %v vs %v",
+				id, childArea, parentArea)
+		}
+	}
+}
+
+func TestLookupContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		ra := rng.Float64() * 360
+		dec := math.Asin(rng.Float64()*2-1) * 180 / math.Pi
+		v := geom.FromRaDec(ra, dec)
+		for _, level := range []int{0, 3, 8, PaperLevel} {
+			id := Lookup(v, level)
+			if id.Level() != level {
+				t.Fatalf("Lookup level = %d, want %d", id.Level(), level)
+			}
+			if !id.Contains(v) {
+				t.Fatalf("Lookup(%v,%v @ %d) = %s does not contain point", ra, dec, level, id)
+			}
+		}
+	}
+}
+
+func TestLookupHierarchyConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		v := geom.FromRaDec(rng.Float64()*360, math.Asin(rng.Float64()*2-1)*180/math.Pi)
+		deep := Lookup(v, PaperLevel)
+		// The ancestor of the deep lookup must contain the point too;
+		// shallow lookups may differ only at boundaries.
+		for level := 0; level < PaperLevel; level++ {
+			anc := deep.AncestorAtLevel(level)
+			if !anc.Contains(v) {
+				t.Fatalf("ancestor %s at level %d does not contain point", anc, level)
+			}
+		}
+	}
+}
+
+func TestLookupDeterministicOnBoundary(t *testing.T) {
+	// A face vertex lies on many trixel boundaries; Lookup must still
+	// return a containing trixel and be deterministic.
+	v := geom.Vec3{X: 1, Y: 0, Z: 0}
+	a := Lookup(v, 10)
+	b := Lookup(v, 10)
+	if a != b {
+		t.Errorf("Lookup not deterministic: %s vs %s", a, b)
+	}
+	if !a.Contains(v) {
+		t.Errorf("boundary lookup %s does not contain point", a)
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{Start: FromPos(10, 4), End: FromPos(20, 4)}
+	if !r.Valid() || r.Level() != 4 || r.Count() != 11 {
+		t.Errorf("range basics failed: %+v", r)
+	}
+	if !r.Contains(FromPos(15, 4)) || r.Contains(FromPos(21, 4)) {
+		t.Error("Contains wrong")
+	}
+	s := Range{Start: FromPos(20, 4), End: FromPos(30, 4)}
+	u := Range{Start: FromPos(31, 4), End: FromPos(40, 4)}
+	if !r.Overlaps(s) || r.Overlaps(u) {
+		t.Error("Overlaps wrong")
+	}
+	if r.String() == "" {
+		t.Error("Range String empty")
+	}
+	bad := Range{Start: FromPos(10, 4), End: FromPos(5, 3)}
+	if bad.Valid() {
+		t.Error("cross-level range should be invalid")
+	}
+}
+
+func TestRangeAtLevel(t *testing.T) {
+	id := FaceID(0) // S0
+	r := id.RangeAtLevel(2)
+	if r.Count() != 16 {
+		t.Errorf("S0 at level 2 has %d trixels, want 16", r.Count())
+	}
+	if r.Start != FaceID(0).Child(0).Child(0) {
+		t.Errorf("range start = %s", r.Start)
+	}
+	if r.End != FaceID(0).Child(3).Child(3) {
+		t.Errorf("range end = %s", r.End)
+	}
+	self := id.RangeAtLevel(0)
+	if self.Start != id || self.End != id {
+		t.Error("RangeAtLevel at own level should be the singleton range")
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	mk := func(a, b uint64) Range { return Range{Start: FromPos(a, 6), End: FromPos(b, 6)} }
+	in := []Range{mk(10, 20), mk(25, 30), mk(15, 22), mk(23, 24), mk(40, 41)}
+	out := MergeRanges(in)
+	want := []Range{mk(10, 30), mk(40, 41)}
+	if len(out) != len(want) {
+		t.Fatalf("MergeRanges = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MergeRanges[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if got := MergeRanges(nil); len(got) != 0 {
+		t.Error("MergeRanges(nil) should be empty")
+	}
+	single := []Range{mk(1, 2)}
+	if got := MergeRanges(single); len(got) != 1 || got[0] != single[0] {
+		t.Error("MergeRanges single")
+	}
+}
+
+func TestRangesOverlap(t *testing.T) {
+	mk := func(a, b uint64) Range { return Range{Start: FromPos(a, 6), End: FromPos(b, 6)} }
+	a := []Range{mk(0, 5), mk(10, 15)}
+	b := []Range{mk(6, 9), mk(16, 20)}
+	if RangesOverlap(a, b) {
+		t.Error("disjoint sets reported overlapping")
+	}
+	c := []Range{mk(15, 15)}
+	if !RangesOverlap(a, c) {
+		t.Error("touching sets reported disjoint")
+	}
+	if RangesOverlap(nil, a) || RangesOverlap(a, nil) {
+		t.Error("nil overlap")
+	}
+}
+
+func TestCoverCapSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		center := geom.FromRaDec(rng.Float64()*360, math.Asin(rng.Float64()*2-1)*180/math.Pi)
+		radius := geom.Radians(0.01 + rng.Float64()*5)
+		c := geom.NewCap(center, radius)
+		level := 6 + rng.Intn(4)
+		cover := CoverCap(c, level)
+		if len(cover) == 0 {
+			t.Fatalf("empty cover for cap radius %v deg", geom.Degrees(radius))
+		}
+		// Ranges sorted and non-overlapping.
+		for i := 1; i < len(cover); i++ {
+			if cover[i].Start <= cover[i-1].End {
+				t.Fatalf("cover ranges overlap or unsorted: %v", cover)
+			}
+		}
+		// Soundness: sampled points inside the cap land inside the cover.
+		for s := 0; s < 50; s++ {
+			// Random point within the cap.
+			p := sampleInCap(rng, c)
+			id := Lookup(p, level)
+			found := false
+			for _, r := range cover {
+				if r.Contains(id) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("point in cap not covered: iter %d level %d", iter, level)
+			}
+		}
+	}
+}
+
+func sampleInCap(rng *rand.Rand, c geom.Cap) geom.Vec3 {
+	// Build an orthonormal frame at the center and sample within the
+	// angular radius.
+	z := c.Center
+	var x geom.Vec3
+	if math.Abs(z.X) < 0.9 {
+		x = geom.Vec3{X: 1}.Sub(z.Scale(z.X)).Normalize()
+	} else {
+		x = geom.Vec3{Y: 1}.Sub(z.Scale(z.Y)).Normalize()
+	}
+	y := z.Cross(x)
+	theta := rng.Float64() * c.Radius() * 0.999
+	phi := rng.Float64() * 2 * math.Pi
+	st, ct := math.Sin(theta), math.Cos(theta)
+	return z.Scale(ct).Add(x.Scale(st * math.Cos(phi))).Add(y.Scale(st * math.Sin(phi)))
+}
+
+func TestCoverCapTightness(t *testing.T) {
+	// An arcsecond-scale cap at level 14 should need only a handful of
+	// trixels (a level-14 trixel is ~25 arcsec across).
+	c := geom.NewCap(geom.FromRaDec(123.4, -12.3), geom.ArcsecToRad(3))
+	cover := CoverCap(c, PaperLevel)
+	var n uint64
+	for _, r := range cover {
+		n += r.Count()
+	}
+	if n > 16 {
+		t.Errorf("3-arcsec cap covered by %d level-14 trixels, want few", n)
+	}
+}
+
+func TestCoverFullSphere(t *testing.T) {
+	c := geom.NewCap(geom.Vec3{Z: 1}, math.Pi)
+	cover := CoverCap(c, 3)
+	var n uint64
+	for _, r := range cover {
+		n += r.Count()
+	}
+	if n != NumTrixels(3) {
+		t.Errorf("full-sphere cover has %d trixels, want %d", n, NumTrixels(3))
+	}
+	if len(cover) != 1 {
+		t.Errorf("full-sphere cover should merge to one range, got %d", len(cover))
+	}
+}
+
+func TestTrixelArea(t *testing.T) {
+	if got, want := TrixelArea(0), 4*math.Pi/8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TrixelArea(0) = %v, want %v", got, want)
+	}
+}
+
+// Property: Pos/FromPos are inverse and preserve ordering.
+func TestQuickPosOrdering(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pa, pb := uint64(a)%NumTrixels(5), uint64(b)%NumTrixels(5)
+		ia, ib := FromPos(pa, 5), FromPos(pb, 5)
+		return (pa < pb) == (ia < ib) && ia.Pos() == pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ancestor ranges nest.
+func TestQuickAncestorNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		id := FromPos(uint64(rng.Int63n(int64(NumTrixels(10)))), 10)
+		anc := id.AncestorAtLevel(4)
+		return anc.RangeAtLevel(10).Contains(id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookupLevel14(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Vec3, 1024)
+	for i := range pts {
+		pts[i] = geom.FromRaDec(rng.Float64()*360, math.Asin(rng.Float64()*2-1)*180/math.Pi)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lookup(pts[i%len(pts)], PaperLevel)
+	}
+}
+
+func BenchmarkCoverCapArcsec(b *testing.B) {
+	c := geom.NewCap(geom.FromRaDec(200, 30), geom.ArcsecToRad(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoverCap(c, PaperLevel)
+	}
+}
+
+func TestLookupWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 300; i++ {
+		v := geom.FromRaDec(rng.Float64()*360, math.Asin(rng.Float64()*2-1)*180/math.Pi)
+		base := Lookup(v, 5)
+		got := LookupWithin(base, v, PaperLevel)
+		if got.Level() != PaperLevel {
+			t.Fatalf("level = %d", got.Level())
+		}
+		if got.AncestorAtLevel(5) != base {
+			t.Fatalf("LookupWithin escaped its base trixel")
+		}
+		if !got.Contains(v) {
+			t.Fatalf("LookupWithin result does not contain point")
+		}
+		// Must agree with a full Lookup away from boundaries.
+		full := Lookup(v, PaperLevel)
+		if full != got && full.AncestorAtLevel(5) == base {
+			t.Fatalf("LookupWithin %s disagrees with Lookup %s", got, full)
+		}
+	}
+}
+
+func TestLookupWithinSameLevel(t *testing.T) {
+	v := geom.FromRaDec(42, 42)
+	base := Lookup(v, 7)
+	if got := LookupWithin(base, v, 7); got != base {
+		t.Errorf("same-level LookupWithin = %s, want %s", got, base)
+	}
+}
+
+func TestLookupWithinOutsideBaseStillTerminates(t *testing.T) {
+	// A point on the far side of the sphere: descent snaps to nearest
+	// children and terminates at the right level.
+	base := FaceID(0)
+	v := base.Center().Scale(-1)
+	got := LookupWithin(base, v, 6)
+	if got.Level() != 6 || got.AncestorAtLevel(0) != base {
+		t.Errorf("outside-point descent broken: %s", got)
+	}
+}
+
+func TestPanicPaths(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Child(-1)", func() { FaceID(0).Child(-1) })
+	mustPanic("Child(4)", func() { FaceID(0).Child(4) })
+	deepest := FromPos(0, MaxLevel)
+	mustPanic("Child below MaxLevel", func() { deepest.Child(0) })
+	mustPanic("RangeAtLevel above", func() { FromPos(0, 5).RangeAtLevel(3) })
+	mustPanic("AncestorAtLevel below", func() { FromPos(0, 3).AncestorAtLevel(5) })
+	mustPanic("Lookup bad level", func() { Lookup(geom.Vec3{X: 1}, -1) })
+	mustPanic("Lookup deep level", func() { Lookup(geom.Vec3{X: 1}, MaxLevel+1) })
+	mustPanic("CoverCap bad level", func() { CoverCap(geom.NewCap(geom.Vec3{X: 1}, 0.1), MaxLevel+1) })
+	mustPanic("LookupWithin above base", func() { LookupWithin(FromPos(0, 5), geom.Vec3{X: 1}, 3) })
+}
+
+func TestLookupPathologicalPoint(t *testing.T) {
+	// The epsilon-snap fallback: a vertex shared by four faces must
+	// still resolve deterministically at depth.
+	for _, v := range []geom.Vec3{
+		{X: 0, Y: 0, Z: 1}, {X: 0, Y: 0, Z: -1}, {X: 1, Y: 0, Z: 0},
+	} {
+		id := Lookup(v, 12)
+		if id.Level() != 12 {
+			t.Fatalf("level = %d", id.Level())
+		}
+	}
+}

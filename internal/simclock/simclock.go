@@ -1,0 +1,155 @@
+// Package simclock abstracts time for the LifeRaft engine. Experiments
+// replay hours of simulated schedule in milliseconds of wall-clock time by
+// running the engine against a virtual clock whose Sleep advances a
+// counter instead of blocking; production deployments use the real clock.
+// All scheduling decisions (age computation, arrival replay, cost
+// charging) go through this interface, so the two modes make identical
+// decisions.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and the ability to wait. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks (really or virtually) for d. Negative or zero
+	// durations return immediately.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Epoch is the default start instant for virtual clocks. Its particular
+// value is irrelevant; only durations matter.
+var Epoch = time.Date(2009, time.January, 4, 0, 0, 0, 0, time.UTC) // CIDR 2009
+
+// Virtual is a discrete-event clock: Sleep advances time instantly. It is
+// safe for concurrent use, though the LifeRaft engine drives it from a
+// single scheduling goroutine.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a virtual clock starting at Epoch.
+func NewVirtual() *Virtual { return &Virtual{now: Epoch} }
+
+// NewVirtualAt returns a virtual clock starting at t.
+func NewVirtualAt(t time.Time) *Virtual { return &Virtual{now: t} }
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock by advancing the virtual time by d.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// Advance moves the clock forward by d (no-op for d <= 0).
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t. Moving backwards is a no-op:
+// virtual time is monotonic.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	v.mu.Unlock()
+}
+
+// Event is a value scheduled at an instant.
+type Event[T any] struct {
+	At    time.Time
+	Value T
+	seq   uint64 // tie-break: FIFO among equal timestamps
+}
+
+// EventQueue is a time-ordered priority queue used to replay query
+// arrivals. Events with equal timestamps pop in push order. The zero value
+// is ready to use. Not safe for concurrent use.
+type EventQueue[T any] struct {
+	h   eventHeap[T]
+	seq uint64
+}
+
+// Push schedules value at instant at.
+func (q *EventQueue[T]) Push(at time.Time, value T) {
+	q.seq++
+	heap.Push(&q.h, Event[T]{At: at, Value: value, seq: q.seq})
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue[T]) Len() int { return len(q.h) }
+
+// PeekTime returns the instant of the earliest event. ok is false when the
+// queue is empty.
+func (q *EventQueue[T]) PeekTime() (at time.Time, ok bool) {
+	if len(q.h) == 0 {
+		return time.Time{}, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue
+// is empty.
+func (q *EventQueue[T]) Pop() (ev Event[T], ok bool) {
+	if len(q.h) == 0 {
+		return Event[T]{}, false
+	}
+	return heap.Pop(&q.h).(Event[T]), true
+}
+
+// PopUntil removes and returns, in order, all events at or before t.
+func (q *EventQueue[T]) PopUntil(t time.Time) []Event[T] {
+	var out []Event[T]
+	for len(q.h) > 0 && !q.h[0].At.After(t) {
+		out = append(out, heap.Pop(&q.h).(Event[T]))
+	}
+	return out
+}
+
+type eventHeap[T any] []Event[T]
+
+func (h eventHeap[T]) Len() int { return len(h) }
+func (h eventHeap[T]) Less(i, j int) bool {
+	if !h[i].At.Equal(h[j].At) {
+		return h[i].At.Before(h[j].At)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap[T]) Push(x any)   { *h = append(*h, x.(Event[T])) }
+func (h *eventHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

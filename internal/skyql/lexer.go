@@ -1,0 +1,139 @@
+// Package skyql implements the small SQL dialect SkyQuery exposed to
+// astronomers, restricted to the cross-match form LifeRaft schedules
+// (Malik et al., CIDR 2003 describe the original). A query names the
+// archives to join, the match tolerance, a sky region, and optional
+// photometric predicates:
+//
+//	SELECT t.id, s.id, s.mag
+//	FROM twomass t, sdss s
+//	WHERE XMATCH(t, s) < 5
+//	  AND REGION(CIRCLE, 150.0, 20.0, 4.0)
+//	  AND s.mag BETWEEN 15 AND 18
+//	  AND SAMPLE(0.5)
+//	LIMIT 100
+//
+// Parse produces an AST; Compile lowers it to a federation.Query the
+// portal executes. The archive order in XMATCH fixes the left-deep plan
+// order (the first alias drives the extraction).
+package skyql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLess
+	tokStar
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLess:
+		return "'<'"
+	case tokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// lex splits the input into tokens. Identifiers are case-preserved;
+// keyword comparison is case-insensitive at the parser level.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '<':
+			toks = append(toks, token{tokLess, "<", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '-' || c == '+' || unicode.IsDigit(c):
+			start := i
+			i++
+			seenDot := false
+			for i < len(input) {
+				d := input[i]
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				break
+			}
+			text := input[start:i]
+			if text == "-" || text == "+" || text == "." {
+				return nil, fmt.Errorf("skyql: malformed number at offset %d", start)
+			}
+			toks = append(toks, token{tokNumber, text, start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("skyql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+// isKeyword reports a case-insensitive keyword match.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

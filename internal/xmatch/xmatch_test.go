@@ -1,0 +1,240 @@
+package xmatch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"liferaft/internal/catalog"
+	"liferaft/internal/geom"
+	"liferaft/internal/htm"
+)
+
+// makeField generates a deterministic local field and a workload queue
+// whose objects are jittered copies of some locals (guaranteed matches)
+// plus unrelated distant objects.
+func makeField(seed int64, nLocal, nMatch, nMiss int, radiusArcsec float64) ([]catalog.Object, []WorkloadObject) {
+	rng := rand.New(rand.NewSource(seed))
+	center := geom.FromRaDec(rng.Float64()*360, rng.Float64()*120-60)
+	locals := make([]catalog.Object, nLocal)
+	for i := range locals {
+		// Scatter within ~0.5 degree.
+		p := jitter(rng, center, geom.Radians(0.5))
+		locals[i] = catalog.Object{
+			ID:    uint64(i),
+			Pos:   p,
+			HTMID: htm.Lookup(p, htm.PaperLevel),
+			Mag:   14 + rng.Float64()*10,
+		}
+	}
+	sortByHTM(locals)
+	radius := geom.ArcsecToRad(radiusArcsec)
+	var queue []WorkloadObject
+	for i := 0; i < nMatch; i++ {
+		base := locals[rng.Intn(len(locals))]
+		p := jitter(rng, base.Pos, radius*0.8)
+		remote := catalog.Object{ID: uint64(1000 + i), Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel)}
+		queue = append(queue, NewWorkloadObject(uint64(i%3), remote, radius))
+	}
+	for i := 0; i < nMiss; i++ {
+		p := jitter(rng, center.Scale(-1).Normalize(), geom.Radians(1)) // antipode: no matches
+		remote := catalog.Object{ID: uint64(5000 + i), Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel)}
+		queue = append(queue, NewWorkloadObject(uint64(i%3), remote, radius))
+	}
+	return locals, queue
+}
+
+func jitter(rng *rand.Rand, v geom.Vec3, maxRad float64) geom.Vec3 {
+	return v.Add(geom.Vec3{
+		X: rng.NormFloat64() * maxRad / 2,
+		Y: rng.NormFloat64() * maxRad / 2,
+		Z: rng.NormFloat64() * maxRad / 2,
+	}).Normalize()
+}
+
+func sortByHTM(objs []catalog.Object) {
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j-1].HTMID > objs[j].HTMID; j-- {
+			objs[j-1], objs[j] = objs[j], objs[j-1]
+		}
+	}
+}
+
+func pairsEqual(a, b []Pair) bool {
+	SortPairs(a)
+	SortPairs(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].QueryID != b[i].QueryID || a[i].Local.ID != b[i].Local.ID || a[i].Remote.ID != b[i].Remote.ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewWorkloadObjectBounds(t *testing.T) {
+	p := geom.FromRaDec(123, 45)
+	obj := catalog.Object{ID: 1, Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel)}
+	w := NewWorkloadObject(7, obj, geom.ArcsecToRad(5))
+	if w.QueryID != 7 || w.MinID > w.MaxID {
+		t.Fatalf("workload object malformed: %+v", w)
+	}
+	// The object's own trixel must fall inside the bounding range.
+	if obj.HTMID < w.MinID || obj.HTMID > w.MaxID {
+		t.Error("bounding range excludes the object's own trixel")
+	}
+	rs := w.Ranges()
+	if len(rs) != 1 || rs[0].Start != w.MinID || rs[0].End != w.MaxID {
+		t.Error("Ranges form")
+	}
+}
+
+func TestNewWorkloadObjectZeroRadius(t *testing.T) {
+	p := geom.FromRaDec(10, 10)
+	obj := catalog.Object{ID: 1, Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel)}
+	w := NewWorkloadObject(1, obj, 0)
+	if w.MinID > obj.HTMID || w.MaxID < obj.HTMID {
+		t.Error("zero-radius bounds must include own trixel")
+	}
+}
+
+func TestJoinsAgreeWithBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		locals, queue := makeField(seed, 300, 60, 20, 3)
+		want := BruteForce(locals, queue, nil)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: brute force found no matches; bad fixture", seed)
+		}
+		if got := MergeJoin(locals, queue, nil); !pairsEqual(got, want) {
+			t.Errorf("seed %d: MergeJoin = %d pairs, brute force %d", seed, len(got), len(want))
+		}
+		if got := IndexJoin(locals, queue, nil); !pairsEqual(got, want) {
+			t.Errorf("seed %d: IndexJoin = %d pairs, brute force %d", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestJoinsEmptyInputs(t *testing.T) {
+	locals, queue := makeField(1, 50, 10, 0, 3)
+	if MergeJoin(nil, queue, nil) != nil || MergeJoin(locals, nil, nil) != nil {
+		t.Error("MergeJoin with empty input should be nil")
+	}
+	if IndexJoin(nil, queue, nil) != nil || IndexJoin(locals, nil, nil) != nil {
+		t.Error("IndexJoin with empty input should be nil")
+	}
+}
+
+func TestMergeJoinDoesNotMutateQueue(t *testing.T) {
+	locals, queue := makeField(2, 100, 20, 5, 3)
+	before := make([]WorkloadObject, len(queue))
+	copy(before, queue)
+	MergeJoin(locals, queue, nil)
+	if !reflect.DeepEqual(before, queue) {
+		t.Error("MergeJoin reordered the caller's queue")
+	}
+}
+
+func TestPredicatesApplied(t *testing.T) {
+	locals, queue := makeField(3, 200, 50, 0, 3)
+	all := BruteForce(locals, queue, nil)
+	// Queries 0,1,2 are interleaved; restrict query 0 to bright locals.
+	preds := map[uint64]Predicate{0: MagnitudeWindow(14, 16)}
+	got := MergeJoin(locals, queue, preds)
+	for _, p := range got {
+		if p.QueryID == 0 && (p.Local.Mag < 14 || p.Local.Mag >= 16) {
+			t.Fatalf("predicate violated: %v mag %v", p, p.Local.Mag)
+		}
+	}
+	// Other queries unaffected.
+	countQ1 := func(ps []Pair) int {
+		n := 0
+		for _, p := range ps {
+			if p.QueryID == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	if countQ1(got) != countQ1(all) {
+		t.Error("predicate on query 0 changed query 1's results")
+	}
+	// Index join honors predicates identically.
+	if got2 := IndexJoin(locals, queue, preds); !pairsEqual(got, got2) {
+		t.Error("IndexJoin predicate handling differs from MergeJoin")
+	}
+}
+
+func TestSeparationWithinRadius(t *testing.T) {
+	locals, queue := makeField(4, 200, 40, 10, 2)
+	for _, p := range MergeJoin(locals, queue, nil) {
+		if p.SepRad > geom.ArcsecToRad(2)+geom.Epsilon {
+			t.Fatalf("pair separation %v arcsec exceeds radius", geom.RadToArcsec(p.SepRad))
+		}
+	}
+}
+
+func TestChooseStrategy(t *testing.T) {
+	// In-memory buckets always scan.
+	if ChooseStrategy(1, 10000, 0.03, true) != Scan {
+		t.Error("cached bucket must scan")
+	}
+	// Small queue: index. 3% of 10000 = 300.
+	if ChooseStrategy(299, 10000, 0.03, false) != Index {
+		t.Error("queue below threshold should use index")
+	}
+	if ChooseStrategy(300, 10000, 0.03, false) != Scan {
+		t.Error("queue at threshold should scan")
+	}
+	// Default threshold kicks in for 0.
+	if ChooseStrategy(299, 10000, 0, false) != Index {
+		t.Error("default threshold")
+	}
+	// Empty bucket: scan (nothing to probe).
+	if ChooseStrategy(10, 0, 0.03, false) != Scan {
+		t.Error("empty bucket should scan")
+	}
+	if Scan.String() != "scan" || Index.String() != "index" {
+		t.Error("Strategy strings")
+	}
+}
+
+func TestPairString(t *testing.T) {
+	locals, queue := makeField(5, 100, 10, 0, 3)
+	ps := MergeJoin(locals, queue, nil)
+	if len(ps) == 0 || ps[0].String() == "" {
+		t.Error("Pair String")
+	}
+}
+
+// Property: MergeJoin and IndexJoin agree with BruteForce on random
+// fields of varying density and radius.
+func TestQuickJoinEquivalence(t *testing.T) {
+	f := func(seed int64, nl, nm uint8, r uint8) bool {
+		locals, queue := makeField(seed, int(nl%100)+10, int(nm%30)+1, int(nm%10), float64(r%10)+0.5)
+		want := BruteForce(locals, queue, nil)
+		return pairsEqual(MergeJoin(locals, queue, nil), want) &&
+			pairsEqual(IndexJoin(locals, queue, nil), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMergeJoin1kx300(b *testing.B) {
+	locals, queue := makeField(1, 1000, 300, 0, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeJoin(locals, queue, nil)
+	}
+}
+
+func BenchmarkIndexJoin1kx30(b *testing.B) {
+	locals, queue := makeField(1, 1000, 30, 0, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IndexJoin(locals, queue, nil)
+	}
+}

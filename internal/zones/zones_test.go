@@ -1,0 +1,193 @@
+package zones
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"liferaft/internal/catalog"
+	"liferaft/internal/geom"
+	"liferaft/internal/htm"
+	"liferaft/internal/xmatch"
+)
+
+func field(seed int64, n int) []catalog.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]catalog.Object, n)
+	for i := range objs {
+		// Mix a uniform field with a dense clump so windows overlap.
+		var p geom.Vec3
+		if i%4 == 0 {
+			base := geom.FromRaDec(30, 10)
+			p = base.Add(geom.Vec3{
+				X: rng.NormFloat64() * 1e-4,
+				Y: rng.NormFloat64() * 1e-4,
+				Z: rng.NormFloat64() * 1e-4,
+			}).Normalize()
+		} else {
+			z := rng.Float64()*2 - 1
+			phi := rng.Float64() * 6.283185307179586
+			r := math.Sqrt(math.Max(0, 1-z*z))
+			p = geom.Vec3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z}
+		}
+		objs[i] = catalog.Object{
+			ID: uint64(i), Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel),
+			Mag: 14 + rng.Float64()*10,
+		}
+	}
+	return objs
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(nil, 0); err == nil {
+		t.Error("zero zone height should fail")
+	}
+	if _, err := NewIndex(nil, 91); err == nil {
+		t.Error("oversize zone height should fail")
+	}
+}
+
+func TestNearMatchesBruteForce(t *testing.T) {
+	objs := field(1, 3000)
+	idx, err := NewIndex(objs, 0.01) // 36 arcsec zones
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.ZoneCount() == 0 {
+		t.Fatal("no zones")
+	}
+	rng := rand.New(rand.NewSource(2))
+	radius := geom.ArcsecToRad(20)
+	for trial := 0; trial < 200; trial++ {
+		// Probe near existing objects half the time to force matches.
+		var p geom.Vec3
+		if trial%2 == 0 {
+			p = objs[rng.Intn(len(objs))].Pos
+		} else {
+			p = geom.FromRaDec(rng.Float64()*360, rng.Float64()*180-90)
+		}
+		got := idx.Near(p, radius)
+		want := 0
+		for _, o := range objs {
+			if p.Angle(o.Pos) <= radius+geom.Epsilon {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: Near found %d, brute force %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestNearAtPolesAndWrap(t *testing.T) {
+	var objs []catalog.Object
+	// Objects hugging the pole and the RA wrap line.
+	for i, rd := range [][2]float64{
+		{0, 89.999}, {180, 89.999}, {359.9995, 0}, {0.0005, 0}, {10, 10},
+	} {
+		p := geom.FromRaDec(rd[0], rd[1])
+		objs = append(objs, catalog.Object{ID: uint64(i), Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel)})
+	}
+	idx, err := NewIndex(objs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near the pole: both polar objects are within ~0.002 deg of the pole.
+	got := idx.Near(geom.FromRaDec(90, 90), geom.Radians(0.01))
+	if len(got) != 2 {
+		t.Errorf("polar query found %d, want 2", len(got))
+	}
+	// Across the RA wrap: the two wrap objects are ~3.6 arcsec apart.
+	got = idx.Near(geom.FromRaDec(0, 0), geom.ArcsecToRad(5))
+	if len(got) != 2 {
+		t.Errorf("wrap query found %d, want 2", len(got))
+	}
+}
+
+func TestCrossMatchAgreesWithMergeJoin(t *testing.T) {
+	objs := field(3, 2000)
+	// Sort by HTM ID: MergeJoin's precondition.
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j-1].HTMID > objs[j].HTMID; j-- {
+			objs[j-1], objs[j] = objs[j], objs[j-1]
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	radius := geom.ArcsecToRad(10)
+	var queue []xmatch.WorkloadObject
+	for i := 0; i < 150; i++ {
+		base := objs[rng.Intn(len(objs))]
+		p := base.Pos.Add(geom.Vec3{
+			X: rng.NormFloat64() * radius / 3,
+			Y: rng.NormFloat64() * radius / 3,
+			Z: rng.NormFloat64() * radius / 3,
+		}).Normalize()
+		remote := catalog.Object{ID: uint64(10000 + i), Pos: p, HTMID: htm.Lookup(p, htm.PaperLevel)}
+		queue = append(queue, xmatch.NewWorkloadObject(uint64(i%4), remote, radius))
+	}
+	preds := map[uint64]xmatch.Predicate{1: xmatch.MagnitudeWindow(15, 20)}
+
+	idx, err := NewIndex(objs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zp := idx.CrossMatch(queue, preds)
+	mp := xmatch.MergeJoin(objs, queue, preds)
+	xmatch.SortPairs(zp)
+	xmatch.SortPairs(mp)
+	if len(zp) == 0 {
+		t.Fatal("zones join found nothing; fixture broken")
+	}
+	if len(zp) != len(mp) {
+		t.Fatalf("zones %d pairs, merge join %d", len(zp), len(mp))
+	}
+	for i := range zp {
+		if zp[i].QueryID != mp[i].QueryID || zp[i].Local.ID != mp[i].Local.ID || zp[i].Remote.ID != mp[i].Remote.ID {
+			t.Fatalf("pair %d differs: %v vs %v", i, zp[i], mp[i])
+		}
+	}
+}
+
+// Property: Near is symmetric-ish — if a is within r of b, querying at a
+// finds b and vice versa.
+func TestQuickNearSymmetry(t *testing.T) {
+	objs := field(5, 500)
+	idx, err := NewIndex(objs, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius := geom.ArcsecToRad(60)
+	f := func(ai, bi uint16) bool {
+		a := objs[int(ai)%len(objs)]
+		b := objs[int(bi)%len(objs)]
+		if a.Pos.Angle(b.Pos) > radius {
+			return true
+		}
+		foundB, foundA := false, false
+		for _, o := range idx.Near(a.Pos, radius) {
+			if o.ID == b.ID {
+				foundB = true
+			}
+		}
+		for _, o := range idx.Near(b.Pos, radius) {
+			if o.ID == a.ID {
+				foundA = true
+			}
+		}
+		return foundA && foundB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkZonesNear(b *testing.B) {
+	objs := field(6, 20000)
+	idx, _ := NewIndex(objs, 0.01)
+	radius := geom.ArcsecToRad(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Near(objs[i%len(objs)].Pos, radius)
+	}
+}

@@ -1,0 +1,314 @@
+// Package liferaft is a Go implementation of LifeRaft (Wang, Burns, Malik;
+// CIDR 2009): a data-driven, batch query scheduler for data-intensive
+// scientific databases. Instead of evaluating queries in arrival order,
+// LifeRaft decomposes each query into per-partition units of work, merges
+// the units of concurrent queries that need the same data into shared
+// workload queues, and services the partition with the highest *aged
+// workload throughput* — a convex blend of data contention and request age
+// that trades throughput against starvation the way VSCAN(R) disk
+// schedulers trade seek time against wait time.
+//
+// The module ships everything the paper's system depended on, built from
+// scratch: HTM sky indexing, equal-sized bucket partitioning, a calibrated
+// disk cost model, synthetic survey catalogs, the cross-match spatial
+// join with its hybrid scan/index strategy, SkyQuery-style federation, a
+// discrete-event virtual clock, and an experiment harness that regenerates
+// every figure in the paper's evaluation.
+//
+// # Quick start
+//
+//	local, _ := liferaft.NewCatalog(liferaft.CatalogConfig{
+//		Name: "sdss", N: 100_000, Seed: 1, GenLevel: 4, CacheTrixels: true,
+//	})
+//	part, _ := liferaft.NewPartition(local, 500, 0)
+//	cfg, _ := liferaft.NewVirtualConfig(part, 0.25, true)
+//	results, stats, _ := liferaft.Run(cfg, jobs, offsets)
+//
+// See examples/ for complete programs: a quickstart, an in-process
+// federation cross-match, the adaptive-α saturation trade-off, and a
+// mixed interactive/batch workload using the QoS extension.
+//
+// The subsystem implementations live under internal/; this package is the
+// supported API surface and re-exports them by alias, so the documented
+// types here are identical to the ones used internally.
+package liferaft
+
+import (
+	"liferaft/internal/bucket"
+	"liferaft/internal/cache"
+	"liferaft/internal/catalog"
+	"liferaft/internal/core"
+	"liferaft/internal/disk"
+	"liferaft/internal/federation"
+	"liferaft/internal/geom"
+	"liferaft/internal/htm"
+	"liferaft/internal/metrics"
+	"liferaft/internal/simclock"
+	"liferaft/internal/skyql"
+	"liferaft/internal/workload"
+	"liferaft/internal/xmatch"
+)
+
+// ---- Scheduler core (the paper's contribution) ----
+
+// Core engine types; see internal/core for full documentation.
+type (
+	// Config configures a scheduler engine.
+	Config = core.Config
+	// Job is one pre-processed query: its workload objects and predicate.
+	Job = core.Job
+	// Result reports one completed query.
+	Result = core.Result
+	// RunStats aggregates a run's throughput, I/O, and cache behaviour.
+	RunStats = core.RunStats
+	// PolicyKind selects the scheduling discipline.
+	PolicyKind = core.PolicyKind
+	// Live is the long-running concurrent engine used by federation nodes.
+	Live = core.Live
+	// Tuner selects α from measured trade-off curves (paper §4).
+	Tuner = core.Tuner
+	// SaturationEstimator tracks arrival rate for the tuner.
+	SaturationEstimator = core.SaturationEstimator
+	// Adaptive closes the §4 loop: a Live engine whose α follows the
+	// measured saturation through the tuner's curves.
+	Adaptive = core.Adaptive
+)
+
+// Scheduling policies.
+const (
+	// PolicyLifeRaft is the aged-workload-throughput scheduler (Eq. 2).
+	PolicyLifeRaft = core.PolicyLifeRaft
+	// PolicyRoundRobin is the RR baseline (buckets in HTM ID order).
+	PolicyRoundRobin = core.PolicyRoundRobin
+	// PolicyLeastShared is the least-sharable-first ablation policy.
+	PolicyLeastShared = core.PolicyLeastShared
+)
+
+// Engine entry points.
+var (
+	// Run replays jobs with arrival offsets through the configured
+	// scheduler (LifeRaft or round-robin).
+	Run = core.Run
+	// RunNoShare is the paper's NoShare baseline: queries evaluated
+	// independently in arrival order.
+	RunNoShare = core.RunNoShare
+	// RunIndexOnly is SkyQuery's pre-LifeRaft index-exclusive approach.
+	RunIndexOnly = core.RunIndexOnly
+	// NewLive starts a concurrent engine accepting Submit calls.
+	NewLive = core.NewLive
+	// NewVirtualConfig builds the standard virtual-clock stack with
+	// paper defaults (20-bucket LRU cache, 3% hybrid threshold).
+	NewVirtualConfig = core.NewVirtual
+	// NewConfigOn builds the standard stack on a caller-provided clock.
+	NewConfigOn = core.NewOn
+	// BuildCurve measures a throughput/response trade-off curve.
+	BuildCurve = core.BuildCurve
+	// NewTuner creates an adaptive-α tuner with a throughput tolerance.
+	NewTuner = core.NewTuner
+	// NewSaturationEstimator creates an arrival-rate EWMA estimator.
+	NewSaturationEstimator = core.NewSaturationEstimator
+	// NewAdaptive wraps a Live engine with saturation-driven α retuning.
+	NewAdaptive = core.NewAdaptive
+)
+
+// ---- Catalogs (synthetic sky archives) ----
+
+type (
+	// Catalog is a lazily-materialized synthetic archive.
+	Catalog = catalog.Catalog
+	// CatalogConfig describes a base survey.
+	CatalogConfig = catalog.Config
+	// DerivedConfig describes a re-observation of a base survey.
+	DerivedConfig = catalog.DerivedConfig
+	// Object is one catalog observation.
+	Object = catalog.Object
+	// Density is a relative sky-density profile.
+	Density = catalog.Density
+)
+
+var (
+	// NewCatalog builds a base survey.
+	NewCatalog = catalog.New
+	// NewDerivedCatalog builds a correlated re-observation (the only
+	// kind of catalog pair cross-matching is meaningful between).
+	NewDerivedCatalog = catalog.NewDerived
+	// UniformDensity, BandDensity, HotspotsDensity, and SumDensity build
+	// density profiles.
+	UniformDensity  = catalog.Uniform
+	BandDensity     = catalog.Band
+	HotspotsDensity = catalog.Hotspots
+	SumDensity      = catalog.Sum
+)
+
+// ---- Partitioning and storage ----
+
+type (
+	// Partition is an equal-sized bucketing of a catalog (paper §3.1).
+	Partition = bucket.Partition
+	// Bucket is one equal-sized partition.
+	Bucket = bucket.Bucket
+	// Store serves buckets from the modeled disk.
+	Store = bucket.Store
+	// DiskModel is the analytic seek/rotate/transfer cost model.
+	DiskModel = disk.Model
+	// Disk charges model costs to a clock and tracks statistics.
+	Disk = disk.Disk
+)
+
+var (
+	// NewPartition divides a catalog into equal-object-count buckets.
+	NewPartition = bucket.NewPartition
+	// NewStore builds a bucket store over a partition and disk.
+	NewStore = bucket.NewStore
+	// SkyQueryDisk returns the disk model calibrated to the paper's
+	// measured constants (Tb = 1.2 s / 40 MB bucket, Tm = 0.13 ms).
+	SkyQueryDisk = disk.SkyQuery
+	// NewDisk wires a model to a clock.
+	NewDisk = disk.New
+)
+
+// CachePolicy names a bucket-cache replacement policy.
+type CachePolicy = cache.PolicyName
+
+// Cache replacement policies.
+const (
+	CacheLRU      = cache.PolicyLRU
+	CacheClock    = cache.PolicyClock
+	CacheTwoQueue = cache.PolicyTwoQueue
+)
+
+// ---- Cross-match join ----
+
+type (
+	// WorkloadObject is one cross-match request with its HTM bounds.
+	WorkloadObject = xmatch.WorkloadObject
+	// Pair is one successful cross-match.
+	Pair = xmatch.Pair
+	// Predicate filters pairs that succeed in the spatial join.
+	Predicate = xmatch.Predicate
+)
+
+var (
+	// NewWorkloadObject wraps a remote object with its error-cap bounds.
+	NewWorkloadObject = xmatch.NewWorkloadObject
+	// MergeJoin is the HTM-sorted plane-sweep join (scan strategy).
+	MergeJoin = xmatch.MergeJoin
+	// IndexJoin is the probing join (index strategy).
+	IndexJoin = xmatch.IndexJoin
+	// MagnitudeWindow builds a photometric-cut predicate.
+	MagnitudeWindow = xmatch.MagnitudeWindow
+)
+
+// ---- Workload generation ----
+
+type (
+	// Query is one trace query.
+	Query = workload.Query
+	// TraceConfig parameterizes trace generation.
+	TraceConfig = workload.TraceConfig
+	// Trace is a generated query sequence.
+	Trace = workload.Trace
+	// Arrivals produces arrival-time offsets.
+	Arrivals = workload.Arrivals
+	// PoissonArrivals, UniformArrivals, and BurstyArrivals are the
+	// built-in arrival processes.
+	PoissonArrivals = workload.Poisson
+	UniformArrivals = workload.Uniform
+	BurstyArrivals  = workload.Bursty
+)
+
+var (
+	// DefaultTraceConfig is calibrated to the published SkyQuery trace
+	// statistics (Figures 5-6).
+	DefaultTraceConfig = workload.DefaultTraceConfig
+	// GenerateTrace produces a deterministic query trace.
+	GenerateTrace = workload.Generate
+	// MaterializeQuery converts a trace query into workload objects.
+	MaterializeQuery = workload.Materialize
+)
+
+// ---- Federation (SkyQuery-style) ----
+
+type (
+	// FedNode is one archive site running a LifeRaft engine.
+	FedNode = federation.Node
+	// FedNodeConfig configures a node.
+	FedNodeConfig = federation.NodeConfig
+	// FedPortal plans and executes serial left-deep cross-matches.
+	FedPortal = federation.Portal
+	// FedQuery is a federation cross-match query.
+	FedQuery = federation.Query
+	// FedTransport reaches one archive (in-process or TCP).
+	FedTransport = federation.Transport
+	// FedInProc embeds a node in-process.
+	FedInProc = federation.InProc
+)
+
+var (
+	// NewFedNode builds and starts an archive node.
+	NewFedNode = federation.NewNode
+	// NewFedPortal returns an empty portal.
+	NewFedPortal = federation.NewPortal
+	// ServeFed serves a node over TCP.
+	ServeFed = federation.Serve
+	// DialFed connects to a remote node.
+	DialFed = federation.Dial
+)
+
+// ---- SkyQL (the SkyQuery SQL dialect) ----
+
+type (
+	// SkyQL is a parsed SkyQL cross-match query.
+	SkyQL = skyql.Query
+)
+
+var (
+	// ParseSkyQL parses the SQL dialect SkyQuery exposed to astronomers.
+	ParseSkyQL = skyql.Parse
+	// CompileSkyQL lowers a parsed query to a federation query.
+	CompileSkyQL = skyql.Compile
+)
+
+// ---- Time, geometry, metrics ----
+
+type (
+	// Clock abstracts time (virtual for experiments, real for serving).
+	Clock = simclock.Clock
+	// VirtualClock is the discrete-event clock.
+	VirtualClock = simclock.Virtual
+	// RealClock is the wall clock.
+	RealClock = simclock.Real
+	// Vec3 is a unit position vector on the celestial sphere.
+	Vec3 = geom.Vec3
+	// Cap is a spherical cap (circular sky region).
+	Cap = geom.Cap
+	// HTMID is a level-addressed trixel identifier.
+	HTMID = htm.ID
+	// Summary is a response-time summary with CoV and percentiles.
+	Summary = metrics.Summary
+	// Curve is a throughput/response trade-off curve over α.
+	Curve = metrics.Curve
+	// TradeoffPoint is one curve point.
+	TradeoffPoint = metrics.TradeoffPoint
+)
+
+var (
+	// NewVirtualClock returns a virtual clock at the epoch.
+	NewVirtualClock = simclock.NewVirtual
+	// FromRaDec and ToRaDec convert equatorial coordinates.
+	FromRaDec = geom.FromRaDec
+	ToRaDec   = geom.ToRaDec
+	// ArcsecToRad converts cross-match radii.
+	ArcsecToRad = geom.ArcsecToRad
+	// NewCap builds a sky region.
+	NewCap = geom.NewCap
+	// HTMLookup returns the trixel containing a point.
+	HTMLookup = htm.Lookup
+	// CoverCap computes the HTM range cover of a region.
+	CoverCap = htm.CoverCap
+	// Summarize computes response-time statistics.
+	Summarize = metrics.Summarize
+	// CumulativeShare and RankForShare compute workload-skew statistics.
+	CumulativeShare = metrics.CumulativeShare
+	RankForShare    = metrics.RankForShare
+)
