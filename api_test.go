@@ -123,3 +123,88 @@ func TestPublicAPISkewHelpers(t *testing.T) {
 		t.Error("rank")
 	}
 }
+
+// TestPublicAPISharded exercises the sharded-engine surface: the Shards
+// knob, both partitioners, the shard map, and the PerShard breakdown.
+func TestPublicAPISharded(t *testing.T) {
+	local, err := liferaft.NewCatalog(liferaft.CatalogConfig{
+		Name: "sdss", N: 12_800, Seed: 11, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := liferaft.NewDerivedCatalog(local, liferaft.DerivedConfig{
+		Name: "twomass", Seed: 12, Fraction: 0.8,
+		JitterRad: liferaft.ArcsecToRad(1.5), CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := liferaft.NewPartition(local, 400, 0) // 32 buckets
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := liferaft.NewShardMap(part, 4, liferaft.ShardByHTMHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := 0; s < m.Shards(); s++ {
+		total += m.Buckets(s)
+	}
+	if total != part.NumBuckets() {
+		t.Fatalf("shard map covers %d of %d buckets", total, part.NumBuckets())
+	}
+
+	tcfg := liferaft.DefaultTraceConfig(13)
+	tcfg.NumQueries = 24
+	tcfg.HotFraction = 0
+	tcfg.MinSelectivity, tcfg.MaxSelectivity = 0.3, 1.0
+	trace, err := liferaft.GenerateTrace(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []liferaft.Job
+	var offs []time.Duration
+	for i, q := range trace.Queries {
+		jobs = append(jobs, liferaft.Job{
+			ID: q.ID, Objects: liferaft.MaterializeQuery(q, remote, tcfg.Seed), Pred: q.Predicate(),
+		})
+		offs = append(offs, time.Duration(i)*time.Millisecond)
+	}
+	var single liferaft.RunStats
+	for _, shards := range []int{1, 4} {
+		cfg, _ := liferaft.NewVirtualConfig(part, 0.25, true)
+		cfg.Shards = shards
+		var p liferaft.ShardPartitioner = liferaft.ShardByRange{}
+		cfg.ShardPartitioner = p
+		results, stats, err := liferaft.Run(cfg, jobs, offs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(jobs) {
+			t.Fatalf("shards=%d: %d of %d completed", shards, len(results), len(jobs))
+		}
+		if shards == 1 {
+			single = stats
+			if stats.PerShard != nil {
+				t.Error("single-disk run should have no PerShard breakdown")
+			}
+			continue
+		}
+		if len(stats.PerShard) != shards {
+			t.Fatalf("PerShard has %d entries, want %d", len(stats.PerShard), shards)
+		}
+		var ss liferaft.ShardStats = stats.PerShard[0]
+		if ss.Buckets == 0 {
+			t.Error("shard 0 owns no buckets under a range split")
+		}
+		if stats.Disk.Matches != single.Disk.Matches {
+			t.Errorf("sharded run charged %d matches, single-disk %d",
+				stats.Disk.Matches, single.Disk.Matches)
+		}
+		if stats.Makespan >= single.Makespan {
+			t.Errorf("4 shards (%v) not faster than 1 (%v)", stats.Makespan, single.Makespan)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package liferaft_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -187,6 +188,91 @@ func BenchmarkAblationPolicies(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// The sharded benchmark environment: a uniform (no hotspot) trace over
+// exactly 32 equal buckets, the acceptance workload for the sharded
+// engine.
+var (
+	shardOnce sync.Once
+	shardPart *liferaft.Partition
+	shardJobs []liferaft.Job
+	shardOffs []time.Duration
+	shardErr  error
+)
+
+func shardEnv(b *testing.B) (*liferaft.Partition, []liferaft.Job, []time.Duration) {
+	b.Helper()
+	shardOnce.Do(func() {
+		local, err := liferaft.NewCatalog(liferaft.CatalogConfig{
+			Name: "sdss", N: 12800, Seed: 11, GenLevel: 4, CacheTrixels: true,
+		})
+		if err != nil {
+			shardErr = err
+			return
+		}
+		remote, err := liferaft.NewDerivedCatalog(local, liferaft.DerivedConfig{
+			Name: "twomass", Seed: 12, Fraction: 0.8,
+			JitterRad: liferaft.ArcsecToRad(1.5), CacheTrixels: true,
+		})
+		if err != nil {
+			shardErr = err
+			return
+		}
+		shardPart, err = liferaft.NewPartition(local, 400, 0) // 32 buckets
+		if err != nil {
+			shardErr = err
+			return
+		}
+		tcfg := liferaft.DefaultTraceConfig(13)
+		tcfg.NumQueries = 96
+		tcfg.HotFraction = 0 // uniform
+		tcfg.MinSelectivity, tcfg.MaxSelectivity = 0.3, 1.0
+		trace, err := liferaft.GenerateTrace(tcfg)
+		if err != nil {
+			shardErr = err
+			return
+		}
+		for _, q := range trace.Queries {
+			shardJobs = append(shardJobs, liferaft.Job{
+				ID: q.ID, Objects: liferaft.MaterializeQuery(q, remote, tcfg.Seed), Pred: q.Predicate(),
+			})
+		}
+		// A saturating uniform stream: makespan is disk-bound.
+		shardOffs = make([]time.Duration, len(shardJobs))
+		for i := range shardOffs {
+			shardOffs[i] = time.Duration(i) * time.Millisecond
+		}
+	})
+	if shardErr != nil {
+		b.Fatal(shardErr)
+	}
+	return shardPart, shardJobs, shardOffs
+}
+
+// BenchmarkShardedRun replays the uniform 32-bucket trace through the
+// sharded engine at 1, 2, 4, and 8 shards, reporting the virtual-clock
+// query throughput (vqps) so the scan-throughput scaling across modeled
+// disks is visible alongside the wall-clock cost of the replay itself.
+// The acceptance bar is >= 2x vqps at shards=4 versus shards=1
+// (TestShardedThroughputScaling in internal/core enforces it).
+func BenchmarkShardedRun(b *testing.B) {
+	part, jobs, offs := shardEnv(b)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			var vqps float64
+			for i := 0; i < b.N; i++ {
+				cfg, _ := liferaft.NewVirtualConfig(part, 0.25, false)
+				cfg.Shards = k
+				_, stats, err := liferaft.Run(cfg, jobs, offs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vqps = stats.Throughput()
+			}
+			b.ReportMetric(vqps, "vqps")
 		})
 	}
 }

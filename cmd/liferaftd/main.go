@@ -35,10 +35,11 @@ func main() {
 	perBucket := flag.Int("bucket", 500, "objects per bucket")
 	alpha := flag.Float64("alpha", 0.25, "LifeRaft age bias")
 	cacheBuckets := flag.Int("cache", 20, "bucket cache capacity")
+	shards := flag.Int("shards", 1, "disk/worker shards for this node's engine (1 = single disk)")
 	virtual := flag.Bool("virtual-clock", true, "charge modeled I/O cost to a virtual clock (instant) instead of sleeping")
 	flag.Parse()
 
-	if err := run(*archive, *addr, *baseN, *baseSeed, *genLevel, *perBucket, *alpha, *cacheBuckets, *virtual); err != nil {
+	if err := run(*archive, *addr, *baseN, *baseSeed, *genLevel, *perBucket, *alpha, *cacheBuckets, *shards, *virtual); err != nil {
 		fmt.Fprintf(os.Stderr, "liferaftd: %v\n", err)
 		os.Exit(1)
 	}
@@ -77,7 +78,7 @@ func buildCatalog(archive string, baseN int, baseSeed int64, genLevel int) (*cat
 	})
 }
 
-func run(archive, addr string, baseN int, baseSeed int64, genLevel, perBucket int, alpha float64, cacheBuckets int, virtual bool) error {
+func run(archive, addr string, baseN int, baseSeed int64, genLevel, perBucket int, alpha float64, cacheBuckets, shards int, virtual bool) error {
 	fmt.Printf("synthesizing archive %q (%d base objects, seed %d)...\n", archive, baseN, baseSeed)
 	cat, err := buildCatalog(archive, baseN, baseSeed, genLevel)
 	if err != nil {
@@ -89,7 +90,7 @@ func run(archive, addr string, baseN int, baseSeed int64, genLevel, perBucket in
 	}
 	node, err := federation.NewNode(federation.NodeConfig{
 		Catalog: cat, ObjectsPerBucket: perBucket,
-		Alpha: alpha, CacheBuckets: cacheBuckets, Clock: clk,
+		Alpha: alpha, CacheBuckets: cacheBuckets, Shards: shards, Clock: clk,
 	})
 	if err != nil {
 		return err
@@ -100,8 +101,8 @@ func run(archive, addr string, baseN int, baseSeed int64, genLevel, perBucket in
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("archive %q serving %d objects on %s (alpha=%.2f)\n",
-		archive, cat.Total(), srv.Addr(), alpha)
+	fmt.Printf("archive %q serving %d objects on %s (alpha=%.2f, shards=%d)\n",
+		archive, cat.Total(), srv.Addr(), alpha, shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

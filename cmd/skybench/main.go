@@ -23,19 +23,24 @@ import (
 func main() {
 	scaleName := flag.String("scale", "ci", "experiment scale: ci, mid, or paper")
 	expName := flag.String("exp", "all", "experiment: all, fig2, fig4, fig5, fig6, fig7, fig8, indexonly, cache, ablations")
+	shards := flag.Int("shards", 1, "disk/worker shards per engine (1 = the paper's single disk)")
 	flag.Parse()
 
-	if err := run(*scaleName, *expName); err != nil {
+	if err := run(*scaleName, *expName, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expName string) error {
+func run(scaleName, expName string, shards int) error {
 	scale, err := exper.ScaleByName(scaleName)
 	if err != nil {
 		return err
 	}
+	if shards < 1 {
+		return fmt.Errorf("-shards %d must be >= 1", shards)
+	}
+	scale.Shards = shards
 	if expName == "fig2" {
 		// Figure 2 needs no environment: it is a property of the paper's
 		// bucket geometry and the disk model.

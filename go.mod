@@ -1,0 +1,3 @@
+module liferaft
+
+go 1.24

@@ -162,6 +162,14 @@ func NewStore(part *Partition, d *disk.Disk, materialize bool) *Store {
 // Partition returns the store's partition.
 func (s *Store) Partition() *Partition { return s.part }
 
+// WithDisk returns a Store over the same partition and materialization
+// mode that charges I/O to d. The sharded engine rebinds the configured
+// store to each shard's own disk this way, so shards never contend for
+// one modeled arm.
+func (s *Store) WithDisk(d *disk.Disk) *Store {
+	return &Store{part: s.part, dsk: d, materialize: s.materialize}
+}
+
 // Materializing reports whether reads return objects.
 func (s *Store) Materializing() bool { return s.materialize }
 

@@ -33,6 +33,16 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
+// Add returns the element-wise sum of two stats snapshots, used to merge
+// the per-shard bucket caches of a sharded run into one aggregate.
+func (s Stats) Add(o Stats) Stats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Puts += o.Puts
+	return s
+}
+
 // String implements fmt.Stringer.
 func (s Stats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d evictions=%d hitRate=%.1f%%",

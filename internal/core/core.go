@@ -19,6 +19,7 @@ import (
 	"liferaft/internal/cache"
 	"liferaft/internal/catalog"
 	"liferaft/internal/disk"
+	"liferaft/internal/shard"
 	"liferaft/internal/simclock"
 	"liferaft/internal/xmatch"
 )
@@ -70,6 +71,24 @@ type Config struct {
 	// Costs are charged identically either way (DESIGN.md §3).
 	MaterializeResults bool
 
+	// Shards runs the engine as K independent disk/worker shards: the
+	// bucket space is partitioned across shards (ShardPartitioner), each
+	// shard gets its own forked disk, bucket cache, and workload queues,
+	// and a worker services each shard's local aged-workload-throughput
+	// schedule concurrently. A query's completion is the completion of
+	// its last shard. 0 or 1 preserves the single-disk engine exactly.
+	// Config.Disk serves as the cost-model template; each shard forks
+	// its own disk from it. Each shard's cache holds CacheBuckets
+	// buckets (scaling out adds memory along with arms).
+	Shards int
+	// ShardPartitioner assigns buckets to shards when Shards > 1; nil
+	// means shard.ByRange (contiguous, balanced bucket counts).
+	ShardPartitioner shard.Partitioner
+	// ownsBucket, when non-nil, restricts admission to the buckets a
+	// shard owns. Set only by the sharded engine on its per-shard
+	// configs; external callers cannot (and must not) set it.
+	ownsBucket func(int) bool
+
 	// AgeDepreciationGamma enables the §6 QoS extension: the age of a
 	// query's requests is depreciated by 1/(1+γ·ln(1+objects)) so large
 	// batch queries do not starve interactive ones. 0 disables.
@@ -115,6 +134,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.WorkloadMemoryCap < 0 {
 		return c, fmt.Errorf("core: negative WorkloadMemoryCap")
 	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("core: negative Shards")
+	}
 	return c, nil
 }
 
@@ -146,6 +168,21 @@ type Result struct {
 // ResponseTime returns Completed - Arrived.
 func (r Result) ResponseTime() time.Duration { return r.Completed.Sub(r.Arrived) }
 
+// absorb merges another shard's partial result for the same query into r:
+// work counters sum, pairs concatenate, the arrival is the earliest and
+// the completion the latest across shards.
+func (r *Result) absorb(o Result) {
+	r.Assignments += o.Assignments
+	r.Matches += o.Matches
+	r.Pairs = append(r.Pairs, o.Pairs...)
+	if o.Arrived.Before(r.Arrived) {
+		r.Arrived = o.Arrived
+	}
+	if o.Completed.After(r.Completed) {
+		r.Completed = o.Completed
+	}
+}
+
 // RunStats aggregates a run.
 type RunStats struct {
 	Completed     int
@@ -159,6 +196,24 @@ type RunStats struct {
 	// overflow extension; SpillFetches counts queue fetch-backs.
 	SpilledObjects int64
 	SpillFetches   int64
+	// PerShard breaks a sharded run down by shard (nil for the
+	// single-disk engine). The aggregate fields above are the merged
+	// view: counters sum across shards and Makespan is the latest shard
+	// finish, so Throughput reflects the parallel wall clock.
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's slice of a sharded run.
+type ShardStats struct {
+	// Shard is the shard index in [0, Config.Shards).
+	Shard int
+	// Buckets is how many buckets of the partition the shard owns.
+	Buckets int
+	// Jobs is how many queries fanned work out to this shard.
+	Jobs int
+	// Stats is the shard's own engine statistics, measured on its own
+	// clock and disk.
+	Stats RunStats
 }
 
 // Throughput returns completed queries per second of makespan.

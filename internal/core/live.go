@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"liferaft/internal/shard"
 	"liferaft/internal/simclock"
 )
 
@@ -17,14 +18,27 @@ import (
 // Live is the deployment form a federation node uses (see the federation
 // package); experiments use Run instead, which replays a trace against a
 // virtual clock.
+//
+// With Config.Shards > 1, Live runs one inner engine per shard: Submit
+// fans the query's workload objects out to the shards owning the buckets
+// they overlap and the result channel delivers the merged Result when the
+// last shard finishes. SetAlpha broadcasts to every shard.
 type Live struct {
 	inbox   chan submission
 	closing chan struct{}
 	done    chan struct{}
 	clock   simclock.Clock
 
-	mu     sync.Mutex
-	closed bool
+	// Sharded mode (Config.Shards > 1): inner engines and the fan-out
+	// machinery; nil in single-disk mode.
+	inner     []*Live
+	smap      *shard.Map
+	mergeWG   sync.WaitGroup
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	closed    bool
+	completed int // sharded mode: merged queries delivered
 
 	// Err reports a scheduler construction failure; checked by callers
 	// of NewLive via the returned error instead.
@@ -47,8 +61,11 @@ func (l *Live) Clock() simclock.Clock { return l.clock }
 var ErrClosed = errors.New("core: live engine closed")
 
 // NewLive starts a live engine. The returned engine must be Closed to
-// release its scheduling goroutine.
+// release its scheduling goroutine(s).
 func NewLive(cfg Config) (*Live, error) {
+	if cfg.Shards > 1 {
+		return newShardedLive(cfg)
+	}
 	s, err := newScheduler(cfg)
 	if err != nil {
 		return nil, err
@@ -63,9 +80,41 @@ func NewLive(cfg Config) (*Live, error) {
 	return l, nil
 }
 
+// newShardedLive starts one inner single-shard engine per shard plus the
+// fan-out front end.
+func newShardedLive(cfg Config) (*Live, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m, err := shard.NewMap(cfg.Store.Partition(), cfg.Shards, cfg.ShardPartitioner)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		done:  make(chan struct{}),
+		clock: cfg.Clock,
+		smap:  m,
+	}
+	for _, sc := range forkConfigs(cfg, m) {
+		in, err := NewLive(sc)
+		if err != nil {
+			for _, started := range l.inner {
+				started.Close()
+			}
+			return nil, err
+		}
+		l.inner = append(l.inner, in)
+	}
+	return l, nil
+}
+
 // Submit enqueues a query. The returned channel delivers exactly one
 // Result when the query completes, then closes.
 func (l *Live) Submit(job Job) (<-chan Result, error) {
+	if l.inner != nil {
+		return l.submitSharded(job)
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -74,6 +123,73 @@ func (l *Live) Submit(job Job) (<-chan Result, error) {
 	ch := make(chan Result, 1)
 	l.inbox <- submission{job: job, ch: ch}
 	l.mu.Unlock()
+	return ch, nil
+}
+
+// submitSharded fans the job out to the shards owning its buckets and
+// merges their results: the delivered Result completes when the last
+// shard does, with assignments and matches summed and pairs concatenated
+// in shard order.
+func (l *Live) submitSharded(job Job) (<-chan Result, error) {
+	// Keep the parent clock tracking the furthest shard clock: on a
+	// virtual clock, observers of Clock() — the Adaptive saturation
+	// estimator, empty-fan-out completion stamps — would otherwise see
+	// time frozen at the engine start until Close.
+	for _, in := range l.inner {
+		simclock.Join(l.clock, in.Clock().Now())
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ch := make(chan Result, 1)
+	fan := l.smap.Fanout(job.Objects)
+	var subs []<-chan Result
+	for s, objs := range fan {
+		if len(objs) == 0 {
+			continue
+		}
+		c, err := l.inner[s].Submit(Job{ID: job.ID, Objects: objs, Pred: job.Pred})
+		if err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+		subs = append(subs, c)
+	}
+	if len(subs) == 0 {
+		// No bucket overlaps anywhere: complete immediately, as the
+		// single-disk engine does.
+		now := l.clock.Now()
+		ch <- Result{QueryID: job.ID, Arrived: now, Completed: now}
+		close(ch)
+		l.completed++
+		l.mu.Unlock()
+		return ch, nil
+	}
+	l.mergeWG.Add(1)
+	l.mu.Unlock()
+	go func() {
+		defer l.mergeWG.Done()
+		var merged Result
+		first := true
+		for _, c := range subs {
+			r, ok := <-c
+			if !ok {
+				continue
+			}
+			if first {
+				merged, first = r, false
+				continue
+			}
+			merged.absorb(r)
+		}
+		ch <- merged
+		close(ch)
+		l.mu.Lock()
+		l.completed++
+		l.mu.Unlock()
+	}()
 	return ch, nil
 }
 
@@ -93,6 +209,14 @@ func (l *Live) SetAlpha(alpha float64) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.inner != nil {
+		for _, in := range l.inner {
+			if err := in.SetAlpha(alpha); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	l.inbox <- submission{setAlpha: &alpha}
 	return nil
 }
@@ -100,12 +224,45 @@ func (l *Live) SetAlpha(alpha float64) error {
 // Close stops accepting queries, waits for all submitted queries to
 // complete, and shuts the scheduling loop down. It is idempotent.
 func (l *Live) Close() error {
+	if l.inner != nil {
+		return l.closeSharded()
+	}
 	l.mu.Lock()
 	if !l.closed {
 		l.closed = true
 		close(l.closing)
 	}
 	l.mu.Unlock()
+	<-l.done
+	return nil
+}
+
+// closeSharded drains every inner engine, waits for in-flight merges, and
+// snapshots the merged statistics.
+func (l *Live) closeSharded() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.closeOnce.Do(func() {
+		for _, in := range l.inner {
+			in.Close()
+		}
+		l.mergeWG.Wait()
+		stats := mergeShardStats(l.smap, func(s int) (RunStats, int) {
+			st, _ := l.inner[s].Stats()
+			return st, st.Completed
+		})
+		l.mu.Lock()
+		stats.Completed = l.completed
+		l.stats = stats
+		l.statsOK = true
+		l.mu.Unlock()
+		// On a virtual parent clock, adopt the latest shard clock.
+		for _, in := range l.inner {
+			simclock.Join(l.clock, in.Clock().Now())
+		}
+		close(l.done)
+	})
 	<-l.done
 	return nil
 }

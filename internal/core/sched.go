@@ -121,6 +121,9 @@ func (s *scheduler) admit(job Job, arrived time.Time) (done *Result) {
 	weight := s.ageWeight(len(job.Objects))
 	for _, wo := range job.Objects {
 		for _, bi := range part.BucketsForRanges(wo.Ranges()) {
+			if s.cfg.ownsBucket != nil && !s.cfg.ownsBucket(bi) {
+				continue // another shard's bucket
+			}
 			q := s.queues[bi]
 			if q == nil {
 				q = &bqueue{idx: bi}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"liferaft/internal/shard"
+	"liferaft/internal/simclock"
+)
+
+// runSharded replays a trace on the sharded engine: the bucket space is
+// split across cfg.Shards shards (cfg.ShardPartitioner), each shard gets
+// its own forked clock, disk, bucket cache, and workload queues, and a
+// worker goroutine per shard services that shard's local
+// aged-workload-throughput schedule. The coordinator fans each job's
+// workload objects out to the shards owning the buckets they overlap,
+// tracks per-query completion across shards (a query completes when its
+// last shard does), and merges per-shard RunStats into one aggregate with
+// a PerShard breakdown.
+//
+// On a virtual parent clock each shard charges costs to its own forked
+// clock, so K shards replaying the same work finish in ~1/K the virtual
+// time instead of serializing on one modeled disk; the parent clock is
+// advanced to the latest shard finish before returning. On the real clock
+// the shard workers genuinely run in parallel.
+func runSharded(cfg Config, jobs []Job, offsets []time.Duration) ([]Result, RunStats, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	if len(jobs) != len(offsets) {
+		return nil, RunStats{}, fmt.Errorf("core: %d jobs but %d offsets", len(jobs), len(offsets))
+	}
+	for i, off := range offsets {
+		if off < 0 {
+			return nil, RunStats{}, fmt.Errorf("core: negative offset for job %d", i)
+		}
+	}
+	k := cfg.Shards
+	m, err := shard.NewMap(cfg.Store.Partition(), k, cfg.ShardPartitioner)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	start := cfg.Clock.Now()
+	shardCfgs := forkConfigs(cfg, m)
+
+	// Fan the jobs out: each shard replays the sub-trace of jobs that
+	// have work on it, at the original arrival offsets.
+	coord := shard.NewCoordinator()
+	subJobs := make([][]Job, k)
+	subOffs := make([][]time.Duration, k)
+	var results []Result
+	for i, j := range jobs {
+		fan := m.Fanout(j.Objects)
+		width := 0
+		for s := 0; s < k; s++ {
+			if len(fan[s]) == 0 {
+				continue
+			}
+			subJobs[s] = append(subJobs[s], Job{ID: j.ID, Objects: fan[s], Pred: j.Pred})
+			subOffs[s] = append(subOffs[s], offsets[i])
+			width++
+		}
+		if width == 0 {
+			// No bucket overlaps anywhere: complete on arrival, as the
+			// single-disk engine does.
+			at := start.Add(offsets[i])
+			results = append(results, Result{QueryID: j.ID, Arrived: at, Completed: at})
+			continue
+		}
+		if err := coord.Register(j.ID, width); err != nil {
+			return nil, RunStats{}, err
+		}
+	}
+
+	// One worker per shard.
+	type shardOut struct {
+		res   []Result
+		stats RunStats
+		err   error
+	}
+	outs := make([]shardOut, k)
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			res, stats, err := runEngine(shardCfgs[s], subJobs[s], subOffs[s])
+			outs[s] = shardOut{res: res, stats: stats, err: err}
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < k; s++ {
+		if outs[s].err != nil {
+			return nil, RunStats{}, fmt.Errorf("core: shard %d: %w", s, outs[s].err)
+		}
+	}
+
+	// Merge per-query results: completion is the latest shard's, counts
+	// sum, pairs concatenate in shard order (deterministic).
+	partial := make(map[uint64]*Result)
+	for s := 0; s < k; s++ {
+		for _, r := range outs[s].res {
+			mr := partial[r.QueryID]
+			if mr == nil {
+				r := r
+				partial[r.QueryID] = &r
+				mr = &r
+			} else {
+				mr.absorb(r)
+			}
+			if done, latest := coord.Complete(r.QueryID, r.Completed); done {
+				mr.Completed = latest
+				results = append(results, *mr)
+				delete(partial, r.QueryID)
+			}
+		}
+	}
+	if n := coord.Pending(); n != 0 || len(partial) != 0 {
+		return nil, RunStats{}, fmt.Errorf("core: %d queries never completed across shards", n+len(partial))
+	}
+	// Single-disk Run returns completion order; reproduce it across
+	// shards (ties broken by arrival, then query ID, for determinism).
+	sort.SliceStable(results, func(a, b int) bool {
+		ra, rb := results[a], results[b]
+		if !ra.Completed.Equal(rb.Completed) {
+			return ra.Completed.Before(rb.Completed)
+		}
+		if !ra.Arrived.Equal(rb.Arrived) {
+			return ra.Arrived.Before(rb.Arrived)
+		}
+		return ra.QueryID < rb.QueryID
+	})
+
+	stats := mergeShardStats(m, func(s int) (RunStats, int) { return outs[s].stats, len(subJobs[s]) })
+	stats.Completed = len(results)
+	// The parent clock adopts the latest shard clock: the sharded
+	// makespan is the slowest shard's, not the sum.
+	simclock.Join(cfg.Clock, start.Add(stats.Makespan))
+	return results, stats, nil
+}
+
+// forkConfigs builds the per-shard engine configs: each shard forks the
+// parent clock (independent virtual time) and the template disk, rebinds
+// the store to its own disk, gets its own bucket cache (newScheduler
+// constructs it per config), and admits only the buckets it owns.
+func forkConfigs(cfg Config, m *shard.Map) []Config {
+	shardCfgs := make([]Config, m.Shards())
+	for s := 0; s < m.Shards(); s++ {
+		s := s
+		sc := cfg
+		sc.Shards = 1
+		sc.ShardPartitioner = nil
+		sc.Clock = simclock.Fork(cfg.Clock)
+		sc.Disk = cfg.Disk.Fork(sc.Clock)
+		sc.Store = cfg.Store.WithDisk(sc.Disk)
+		sc.ownsBucket = func(b int) bool { return m.Owner(b) == s }
+		shardCfgs[s] = sc
+	}
+	return shardCfgs
+}
+
+// mergeShardStats merges per-shard statistics into the aggregate view:
+// counters sum, disk and cache stats sum, and Makespan is the latest
+// shard finish. Completed is left for the caller (it counts merged
+// queries, not per-shard completions).
+func mergeShardStats(m *shard.Map, get func(s int) (RunStats, int)) RunStats {
+	var agg RunStats
+	agg.PerShard = make([]ShardStats, m.Shards())
+	for s := 0; s < m.Shards(); s++ {
+		st, jobs := get(s)
+		agg.PerShard[s] = ShardStats{Shard: s, Buckets: m.Buckets(s), Jobs: jobs, Stats: st}
+		agg.BucketsServed += st.BucketsServed
+		agg.ScanServices += st.ScanServices
+		agg.IndexServices += st.IndexServices
+		agg.SpilledObjects += st.SpilledObjects
+		agg.SpillFetches += st.SpillFetches
+		agg.Disk = agg.Disk.Add(st.Disk)
+		agg.Cache = agg.Cache.Add(st.Cache)
+		if st.Makespan > agg.Makespan {
+			agg.Makespan = st.Makespan
+		}
+	}
+	return agg
+}

@@ -116,6 +116,19 @@ type Stats struct {
 	BusyTime    time.Duration
 }
 
+// Add returns the element-wise sum of two stats snapshots, used to merge
+// the per-shard disks of a sharded run into one aggregate. BusyTime sums
+// — it is total arm-busy work across disks, not wall time.
+func (s Stats) Add(o Stats) Stats {
+	s.SeqReads += o.SeqReads
+	s.SeqBytes += o.SeqBytes
+	s.Probes += o.Probes
+	s.RandomReads += o.RandomReads
+	s.Matches += o.Matches
+	s.BusyTime += o.BusyTime
+	return s
+}
+
 // Disk charges model costs to a clock and accumulates statistics. It is
 // safe for concurrent use.
 type Disk struct {
@@ -136,6 +149,11 @@ func New(model Model, clock simclock.Clock) *Disk {
 
 // Model returns the disk's cost model.
 func (d *Disk) Model() Model { return d.model }
+
+// Fork returns a new Disk with the same cost model charging to clk, with
+// fresh statistics. The sharded engine forks one disk per shard from the
+// configured template so each shard models an independent disk arm.
+func (d *Disk) Fork(clk simclock.Clock) *Disk { return New(d.model, clk) }
 
 // ReadSequential charges the cost of sequentially reading n bytes.
 func (d *Disk) ReadSequential(n int64) time.Duration {

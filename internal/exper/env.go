@@ -40,6 +40,9 @@ type Scale struct {
 	CacheBuckets int
 	// Materialize runs real joins; cost-only mode otherwise.
 	Materialize bool
+	// Shards runs every experiment's engine across K disk/worker
+	// shards (core.Config.Shards); 0 or 1 is the paper's single disk.
+	Shards int
 	// Seed drives everything.
 	Seed int64
 }
@@ -148,6 +151,7 @@ func NewEnv(scale Scale) (*Env, error) {
 func (e *Env) Config(alpha float64) core.Config {
 	cfg, _ := core.NewVirtual(e.Part, alpha, e.Scale.Materialize)
 	cfg.CacheBuckets = e.Scale.CacheBuckets
+	cfg.Shards = e.Scale.Shards
 	return cfg
 }
 

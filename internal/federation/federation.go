@@ -104,6 +104,11 @@ type NodeConfig struct {
 	// knobs (Alpha, CacheBuckets, ...) only.
 	Alpha        float64
 	CacheBuckets int
+	// Shards runs the node's engine across K independent disk/worker
+	// shards (see core.Config.Shards); 0 or 1 is the single-disk
+	// engine. Each site in a federation shards independently, exactly
+	// as each site batches independently.
+	Shards int
 	// Clock is the node's time source: virtual clocks make node-side
 	// cost charging instantaneous (tests, experiments); nil means the
 	// real clock (deployments).
@@ -142,6 +147,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.CacheBuckets > 0 {
 		ecfg.CacheBuckets = cfg.CacheBuckets
 	}
+	ecfg.Shards = cfg.Shards
 	eng, err := core.NewLive(ecfg)
 	if err != nil {
 		return nil, err

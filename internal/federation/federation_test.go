@@ -456,3 +456,58 @@ func TestObjectWireRoundTrip(t *testing.T) {
 		t.Errorf("wire round trip: %+v != %+v", back, o)
 	}
 }
+
+// TestShardedNodeEquivalence runs the same cross-match through
+// single-disk nodes and through nodes sharded across 3 disks: the sharded
+// engine must return exactly the same match rows.
+func TestShardedNodeEquivalence(t *testing.T) {
+	f := newFixture(t)
+	single, err := f.portal.Execute(testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk := simclock.NewVirtual()
+	mk := func(c *catalog.Catalog) *Node {
+		n, err := NewNode(NodeConfig{
+			Catalog: c, ObjectsPerBucket: 400, Alpha: 0.25, Shards: 3, Clock: clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	sdss, twomass := mk(fedCats[0]), mk(fedCats[1])
+	defer sdss.Close()
+	defer twomass.Close()
+	portal := NewPortal()
+	portal.Register("sdss", InProc{sdss})
+	portal.Register("twomass", InProc{twomass})
+	sharded, err := portal.Execute(testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(row Row) [2]uint64 {
+		return [2]uint64{row.Objects["twomass"].ID, row.Objects["sdss"].ID}
+	}
+	collect := func(rs *ResultSet) map[[2]uint64]bool {
+		out := make(map[[2]uint64]bool, len(rs.Rows))
+		for _, row := range rs.Rows {
+			out[key(row)] = true
+		}
+		return out
+	}
+	a, b := collect(single), collect(sharded)
+	if len(a) == 0 {
+		t.Fatal("single-disk portal found nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sharded portal found %d rows, single-disk %d", len(b), len(a))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("row %v missing from sharded result", k)
+		}
+	}
+}

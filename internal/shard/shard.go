@@ -1,0 +1,236 @@
+// Package shard partitions the bucket space of a LifeRaft engine across K
+// independent disk/worker shards. LifeRaft (the paper) schedules queries
+// by data contention so a *single* disk arm services the hottest
+// partition; this package scales the same aged-workload-throughput policy
+// to many disks by giving each shard its own disk, bucket cache, and
+// workload queues, while a coordinator fans each submitted query's
+// workload objects out to the shards owning the buckets they overlap and
+// tracks per-query completion across shards.
+//
+// The package provides the building blocks the engine composes:
+//
+//   - Partitioner assigns buckets to shards. ByRange (contiguous,
+//     balanced bucket counts) and ByHTMHash (HTM ID hash, decorrelates
+//     spatial hotspots from shard identity) are provided; the interface
+//     is pluggable.
+//   - Map is a computed assignment for one partition: bucket ownership
+//     lookups and workload-object fan-out.
+//   - Coordinator tracks in-flight queries that fanned out to several
+//     shards and reports the merged completion instant when the last
+//     shard finishes.
+//
+// The per-shard engines themselves live in internal/core (see
+// core.Config.Shards); shards on a virtual clock each charge costs to
+// their own forked clock (simclock.Fork) so concurrent shards do not
+// serialize on one modeled disk.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/xmatch"
+)
+
+// Partitioner assigns every bucket of a partition to one of K shards.
+type Partitioner interface {
+	// Name identifies the strategy in stats and logs.
+	Name() string
+	// Assign returns one owner in [0, shards) per bucket index.
+	Assign(part *bucket.Partition, shards int) []int
+}
+
+// ByRange assigns contiguous runs of buckets to each shard, balancing
+// bucket counts within one bucket of each other. Contiguous ranges keep
+// each shard's working set spatially local (neighbouring buckets along
+// the HTM curve), the layout a striped multi-disk deployment would use.
+type ByRange struct{}
+
+// Name implements Partitioner.
+func (ByRange) Name() string { return "range" }
+
+// Assign implements Partitioner.
+func (ByRange) Assign(part *bucket.Partition, shards int) []int {
+	n := part.NumBuckets()
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i * shards / n
+	}
+	return owner
+}
+
+// ByHTMHash assigns each bucket by a hash of the level-14 HTM ID its span
+// starts at. Hashing decorrelates shard identity from sky position, so a
+// spatial hotspot (a heavily re-observed survey stripe) spreads across
+// shards instead of saturating one.
+type ByHTMHash struct{}
+
+// Name implements Partitioner.
+func (ByHTMHash) Name() string { return "htmhash" }
+
+// Assign implements Partitioner.
+func (ByHTMHash) Assign(part *bucket.Partition, shards int) []int {
+	owner := make([]int, part.NumBuckets())
+	for i := range owner {
+		owner[i] = int(mix64(uint64(part.Bucket(i).Span.Start)) % uint64(shards))
+	}
+	return owner
+}
+
+// mix64 is the splitmix64 finalizer, a cheap high-quality bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Map is a computed bucket-to-shard assignment for one partition.
+type Map struct {
+	part   *bucket.Partition
+	shards int
+	owner  []int
+	counts []int
+	name   string
+}
+
+// NewMap computes the assignment of part's buckets across shards using p
+// (nil means ByRange). shards may exceed the bucket count; the excess
+// shards simply own no buckets.
+func NewMap(part *bucket.Partition, shards int, p Partitioner) (*Map, error) {
+	if part == nil {
+		return nil, fmt.Errorf("shard: nil partition")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shards %d must be >= 1", shards)
+	}
+	if p == nil {
+		p = ByRange{}
+	}
+	owner := p.Assign(part, shards)
+	if len(owner) != part.NumBuckets() {
+		return nil, fmt.Errorf("shard: partitioner %q assigned %d buckets, partition has %d",
+			p.Name(), len(owner), part.NumBuckets())
+	}
+	m := &Map{part: part, shards: shards, owner: owner, counts: make([]int, shards), name: p.Name()}
+	for i, s := range owner {
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("shard: partitioner %q assigned bucket %d to shard %d of %d",
+				p.Name(), i, s, shards)
+		}
+		m.counts[s]++
+	}
+	return m, nil
+}
+
+// Shards returns the number of shards.
+func (m *Map) Shards() int { return m.shards }
+
+// NumBuckets returns the number of buckets in the underlying partition.
+func (m *Map) NumBuckets() int { return len(m.owner) }
+
+// Owner returns the shard owning bucket b.
+func (m *Map) Owner(b int) int { return m.owner[b] }
+
+// Buckets returns how many buckets shard s owns.
+func (m *Map) Buckets(s int) int { return m.counts[s] }
+
+// PartitionerName returns the name of the strategy that built the map.
+func (m *Map) PartitionerName() string { return m.name }
+
+// Fanout groups a query's workload objects by owning shard: object w goes
+// to every shard owning a bucket whose span overlaps w's bounding HTM
+// range, once per shard. The result always has exactly Shards() entries;
+// shards the query does not touch hold nil. This is the coordinator-side
+// half of admission — each shard's engine re-derives the per-bucket
+// assignment locally, restricted to the buckets it owns, so the union of
+// per-shard assignments equals the single-engine assignment exactly.
+func (m *Map) Fanout(objs []xmatch.WorkloadObject) [][]xmatch.WorkloadObject {
+	out := make([][]xmatch.WorkloadObject, m.shards)
+	mark := make([]bool, m.shards)
+	touched := make([]int, 0, m.shards)
+	for _, wo := range objs {
+		for _, bi := range m.part.BucketsForRanges(wo.Ranges()) {
+			s := m.owner[bi]
+			if !mark[s] {
+				mark[s] = true
+				touched = append(touched, s)
+				out[s] = append(out[s], wo)
+			}
+		}
+		for _, s := range touched {
+			mark[s] = false
+		}
+		touched = touched[:0]
+	}
+	return out
+}
+
+// Coordinator tracks queries in flight across several shards: a query
+// registers with its fan-out width, each shard reports its local
+// completion, and the coordinator reports the query done — with the
+// latest (merged) completion instant — when the last shard finishes. It
+// is safe for concurrent use by shard workers.
+type Coordinator struct {
+	mu      sync.Mutex
+	pending map[uint64]*fanState
+}
+
+type fanState struct {
+	remaining int
+	latest    time.Time
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{pending: make(map[uint64]*fanState)}
+}
+
+// Register records that query q fanned out to n shards. Registering an
+// in-flight query twice or a non-positive fan-out is a programming error.
+func (c *Coordinator) Register(q uint64, n int) error {
+	if n < 1 {
+		return fmt.Errorf("shard: query %d registered with fan-out %d", q, n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.pending[q]; dup {
+		return fmt.Errorf("shard: query %d already in flight", q)
+	}
+	c.pending[q] = &fanState{remaining: n}
+	return nil
+}
+
+// Complete records that one shard finished its part of query q at
+// instant at. When the last shard reports, done is true and latest is the
+// merged completion instant (the maximum across shards). Completing an
+// unregistered query panics: it means a shard serviced work the
+// coordinator never fanned out.
+func (c *Coordinator) Complete(q uint64, at time.Time) (done bool, latest time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.pending[q]
+	if st == nil {
+		panic(fmt.Sprintf("shard: completion for unregistered query %d", q))
+	}
+	if at.After(st.latest) {
+		st.latest = at
+	}
+	st.remaining--
+	if st.remaining > 0 {
+		return false, time.Time{}
+	}
+	delete(c.pending, q)
+	return true, st.latest
+}
+
+// Pending returns the number of queries still in flight.
+func (c *Coordinator) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

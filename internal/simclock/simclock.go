@@ -84,6 +84,29 @@ func (v *Virtual) AdvanceTo(t time.Time) {
 	v.mu.Unlock()
 }
 
+// Fork returns a clock that advances independently of c but starts at the
+// same instant. For a *Virtual clock it returns a fresh Virtual at c's
+// current time — the per-shard clock-charging discipline of the sharded
+// engine, where K shards each charge modeled I/O to their own clock so
+// concurrent shards do not serialize on one modeled disk. Any other clock
+// (the real clock in particular) is returned unchanged: real time is
+// naturally parallel.
+func Fork(c Clock) Clock {
+	if v, ok := c.(*Virtual); ok {
+		return NewVirtualAt(v.Now())
+	}
+	return c
+}
+
+// Join advances a *Virtual clock c forward to t — the rendezvous at the
+// end of a sharded run, where the parent clock adopts the latest forked
+// shard clock. It is a no-op for any other clock, and for t in c's past.
+func Join(c Clock, t time.Time) {
+	if v, ok := c.(*Virtual); ok {
+		v.AdvanceTo(t)
+	}
+}
+
 // Event is a value scheduled at an instant.
 type Event[T any] struct {
 	At    time.Time

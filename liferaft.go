@@ -25,8 +25,48 @@
 //	results, stats, _ := liferaft.Run(cfg, jobs, offsets)
 //
 // See examples/ for complete programs: a quickstart, an in-process
-// federation cross-match, the adaptive-α saturation trade-off, and a
-// mixed interactive/batch workload using the QoS extension.
+// federation cross-match, the adaptive-α saturation trade-off, a mixed
+// interactive/batch workload using the QoS extension, and the sharded
+// engine's scan-throughput scaling.
+//
+// # Sharded execution
+//
+// The paper's engine drives a single disk arm; this module scales the
+// same aged-workload-throughput policy across K disks. Setting
+// Config.Shards to K > 1 partitions the bucket space across K shards
+// (ShardByRange for contiguous balanced ranges, ShardByHTMHash to spread
+// spatial hotspots; the ShardPartitioner interface is pluggable). Each
+// shard owns its own modeled disk, bucket cache, and workload queues, and
+// a worker per shard services that shard's local LifeRaft schedule. A
+// coordinator fans each query's workload objects out to the shards owning
+// the buckets they overlap and completes the query when its last shard
+// finishes; RunStats merges across shards with a PerShard breakdown. On a
+// virtual clock each shard charges costs to its own forked clock, so K
+// shards finish in ~1/K the virtual time instead of serializing on one
+// modeled disk. Shards <= 1 preserves the paper's single-disk engine —
+// and its results — exactly.
+//
+//	cfg, clk := liferaft.NewVirtualConfig(part, 0.25, false)
+//	cfg.Shards = 4
+//	results, stats, _ := liferaft.Run(cfg, jobs, offsets)
+//	for _, ss := range stats.PerShard { fmt.Println(ss.Shard, ss.Stats.BucketsServed) }
+//
+// Run, Live engines (NewLive), Adaptive engines, and federation nodes
+// (FedNodeConfig.Shards) all accept the knob; cmd/skybench and
+// cmd/liferaftd expose it as -shards.
+//
+// # Contributing
+//
+// CI (.github/workflows/ci.yml) gates every change on:
+//
+//	go build ./...
+//	go vet ./...
+//	gofmt -l .            # must print nothing
+//	go test ./...
+//	go test -race ./internal/core/... ./internal/shard/... ./internal/federation/...
+//	go test -bench=. -benchtime=1x -run='^$' ./...
+//
+// Keep all of them green locally before sending a change.
 //
 // The subsystem implementations live under internal/; this package is the
 // supported API surface and re-exports them by alias, so the documented
@@ -43,6 +83,7 @@ import (
 	"liferaft/internal/geom"
 	"liferaft/internal/htm"
 	"liferaft/internal/metrics"
+	"liferaft/internal/shard"
 	"liferaft/internal/simclock"
 	"liferaft/internal/skyql"
 	"liferaft/internal/workload"
@@ -72,7 +113,27 @@ type (
 	// Adaptive closes the §4 loop: a Live engine whose α follows the
 	// measured saturation through the tuner's curves.
 	Adaptive = core.Adaptive
+	// ShardStats is one shard's slice of a sharded run (RunStats.PerShard).
+	ShardStats = core.ShardStats
 )
+
+// ---- Sharded execution (scaling the paper's policy across K disks) ----
+
+type (
+	// ShardPartitioner assigns buckets to shards (Config.ShardPartitioner).
+	ShardPartitioner = shard.Partitioner
+	// ShardByRange assigns contiguous balanced bucket ranges (default).
+	ShardByRange = shard.ByRange
+	// ShardByHTMHash assigns buckets by HTM ID hash, spreading spatial
+	// hotspots across shards.
+	ShardByHTMHash = shard.ByHTMHash
+	// ShardMap is a computed bucket-to-shard assignment.
+	ShardMap = shard.Map
+)
+
+// NewShardMap computes the bucket-to-shard assignment a sharded engine
+// would use, for inspection and capacity planning.
+var NewShardMap = shard.NewMap
 
 // Scheduling policies.
 const (
