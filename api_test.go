@@ -1,6 +1,8 @@
 package liferaft_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -206,5 +208,92 @@ func TestPublicAPISharded(t *testing.T) {
 		if stats.Makespan >= single.Makespan {
 			t.Errorf("4 shards (%v) not faster than 1 (%v)", stats.Makespan, single.Makespan)
 		}
+	}
+}
+
+// TestPublicServingAPI drives the exported multi-tenant serving surface:
+// NewServer over a Live engine, admission, backpressure, cancellation,
+// and per-tenant stats.
+func TestPublicServingAPI(t *testing.T) {
+	local, err := liferaft.NewCatalog(liferaft.CatalogConfig{
+		Name: "sdss", N: 12_000, Seed: 5, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := liferaft.NewDerivedCatalog(local, liferaft.DerivedConfig{
+		Name: "twomass", Seed: 6, Fraction: 0.8,
+		JitterRad: liferaft.ArcsecToRad(1.5), CacheTrixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := liferaft.NewPartition(local, 400, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := liferaft.DefaultTraceConfig(7)
+	tcfg.NumQueries = 8
+	trace, err := liferaft.GenerateTrace(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, _ := liferaft.NewVirtualConfig(part, 0.25, false)
+	cfg.Shards = 2
+	eng, err := liferaft.NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv, err := liferaft.NewServer(eng, liferaft.ServerConfig{
+		Tenants: []liferaft.TenantConfig{{Name: "vip", Weight: 4, Rate: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i, q := range trace.Queries {
+		job := liferaft.Job{
+			ID: uint64(i + 1), Objects: liferaft.MaterializeQuery(q, remote, tcfg.Seed),
+		}
+		for j := range job.Objects {
+			job.Objects[j].QueryID = job.ID
+		}
+		ch, err := srv.Submit(context.Background(), "vip", job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, ok := <-ch; !ok || r.Cancelled {
+			t.Fatalf("query %d: result %+v ok=%v", job.ID, r, ok)
+		}
+	}
+	var st liferaft.ServerStats = srv.Stats()
+	if len(st.Tenants) != 1 {
+		t.Fatalf("tenants = %+v", st.Tenants)
+	}
+	var ts liferaft.TenantStats = st.Tenants[0]
+	if ts.Tenant != "vip" || ts.Completed != int64(len(trace.Queries)) || ts.Weight != 4 {
+		t.Errorf("tenant stats = %+v", ts)
+	}
+	var sum liferaft.Summary = ts.RespTime
+	if sum.Count != len(trace.Queries) {
+		t.Errorf("resp summary count = %d", sum.Count)
+	}
+
+	// The overload error surfaces typed through the public alias.
+	srv2, err := liferaft.NewServer(eng, liferaft.ServerConfig{MaxTenants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if _, err := srv2.Submit(context.Background(), "a", liferaft.Job{ID: 900}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv2.Submit(context.Background(), "b", liferaft.Job{ID: 901})
+	var over *liferaft.OverloadError
+	if !errors.As(err, &over) || over.Reason != liferaft.OverloadTenants {
+		t.Errorf("err = %v, want OverloadTenants", err)
 	}
 }

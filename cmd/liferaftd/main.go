@@ -1,8 +1,8 @@
 // Command liferaftd serves one archive node of a LifeRaft federation over
-// TCP. Every daemon synthesizes its catalog deterministically from the
-// shared base survey parameters, so independently started daemons hold
-// correlated archives (the same sky re-observed), exactly what
-// cross-matching needs.
+// TCP — and, with -http, over an HTTP+JSON gateway that accepts SkyQL.
+// Every daemon synthesizes its catalog deterministically from the shared
+// base survey parameters, so independently started daemons hold correlated
+// archives (the same sky re-observed), exactly what cross-matching needs.
 //
 // A three-archive federation on one machine:
 //
@@ -11,37 +11,176 @@
 //	liferaftd -archive usnob   -addr 127.0.0.1:7703 &
 //	skyquery -nodes sdss=127.0.0.1:7701,twomass=127.0.0.1:7702,usnob=127.0.0.1:7703 \
 //	         -archives twomass,sdss,usnob -ra 150 -dec 20 -radius 4
+//
+// Multi-tenant serving: -rate, -queue-depth, and -tenants put an admission
+// control + fair queueing layer in front of the engine; -http additionally
+// opens the gateway (POST /v1/query, GET /v1/stats, GET /healthz), which
+// executes SkyQL against this node and any -peers:
+//
+//	liferaftd -archive sdss -addr 127.0.0.1:7701 \
+//	    -http 127.0.0.1:8080 -rate 50 -queue-depth 32 -tenants vip:4 \
+//	    -peers twomass=127.0.0.1:7702,usnob=127.0.0.1:7703
+//	curl -s 127.0.0.1:8080/v1/query -d '{"tenant":"vip","query":
+//	  "SELECT * FROM sdss s, twomass t WHERE XMATCH(s,t) < 5 AND REGION(CIRCLE J2000 150 20 4)"}'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"liferaft/internal/catalog"
 	"liferaft/internal/federation"
 	"liferaft/internal/geom"
+	"liferaft/internal/server"
 	"liferaft/internal/simclock"
+	"liferaft/internal/skyql"
 )
 
+// options collects every flag, so validation is testable as one unit.
+type options struct {
+	archive    string
+	addr       string
+	baseN      int
+	baseSeed   int64
+	genLevel   int
+	perBucket  int
+	alpha      float64
+	cache      int
+	shards     int
+	virtual    bool
+	httpAddr   string
+	tenants    string
+	rate       float64
+	queueDepth int
+	peers      string
+}
+
 func main() {
-	archive := flag.String("archive", "sdss", "archive to serve: sdss (base) or any derived name (twomass, usnob, ...)")
-	addr := flag.String("addr", "127.0.0.1:7701", "listen address")
-	baseN := flag.Int("objects", 200_000, "base survey size in objects")
-	baseSeed := flag.Int64("seed", 42, "base survey seed (must match across the federation)")
-	genLevel := flag.Int("genlevel", 5, "catalog materialization level")
-	perBucket := flag.Int("bucket", 500, "objects per bucket")
-	alpha := flag.Float64("alpha", 0.25, "LifeRaft age bias")
-	cacheBuckets := flag.Int("cache", 20, "bucket cache capacity")
-	shards := flag.Int("shards", 1, "disk/worker shards for this node's engine (1 = single disk)")
-	virtual := flag.Bool("virtual-clock", true, "charge modeled I/O cost to a virtual clock (instant) instead of sleeping")
+	var o options
+	flag.StringVar(&o.archive, "archive", "sdss", "archive to serve: sdss (base) or any derived name (twomass, usnob, ...)")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7701", "gob TCP listen address")
+	flag.IntVar(&o.baseN, "objects", 200_000, "base survey size in objects")
+	flag.Int64Var(&o.baseSeed, "seed", 42, "base survey seed (must match across the federation)")
+	flag.IntVar(&o.genLevel, "genlevel", 5, "catalog materialization level")
+	flag.IntVar(&o.perBucket, "bucket", 500, "objects per bucket")
+	flag.Float64Var(&o.alpha, "alpha", 0.25, "LifeRaft age bias in [0,1]")
+	flag.IntVar(&o.cache, "cache", 20, "bucket cache capacity")
+	flag.IntVar(&o.shards, "shards", 1, "disk/worker shards for this node's engine (1 = single disk)")
+	flag.BoolVar(&o.virtual, "virtual-clock", true, "charge modeled I/O cost to a virtual clock (instant) instead of sleeping")
+	flag.StringVar(&o.httpAddr, "http", "", "HTTP gateway listen address (empty = disabled)")
+	flag.StringVar(&o.tenants, "tenants", "", "pre-registered tenants as name:weight pairs, e.g. vip:4,batch:1")
+	flag.Float64Var(&o.rate, "rate", 0, "per-tenant admission rate in queries/sec (0 = unlimited)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-tenant pending-queue bound (0 = serving-layer default)")
+	flag.StringVar(&o.peers, "peers", "", "peer archives for gateway cross-matches as name=addr pairs")
 	flag.Parse()
 
-	if err := run(*archive, *addr, *baseN, *baseSeed, *genLevel, *perBucket, *alpha, *cacheBuckets, *shards, *virtual); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "liferaftd: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// validate rejects misconfigurations at startup with a clear error instead
+// of misbehaving hours into a run.
+func (o options) validate() error {
+	if o.alpha < 0 || o.alpha > 1 {
+		return fmt.Errorf("-alpha %v out of [0,1]", o.alpha)
+	}
+	if o.perBucket <= 0 {
+		return fmt.Errorf("-bucket %d must be positive", o.perBucket)
+	}
+	if o.cache <= 0 {
+		return fmt.Errorf("-cache %d must be positive", o.cache)
+	}
+	if o.shards <= 0 {
+		return fmt.Errorf("-shards %d must be positive", o.shards)
+	}
+	if o.baseN <= 0 {
+		return fmt.Errorf("-objects %d must be positive", o.baseN)
+	}
+	if o.rate < 0 {
+		return fmt.Errorf("-rate %v must be non-negative", o.rate)
+	}
+	if o.queueDepth < 0 {
+		return fmt.Errorf("-queue-depth %d must be non-negative", o.queueDepth)
+	}
+	if _, err := parseTenants(o.tenants); err != nil {
+		return err
+	}
+	if _, err := parsePeers(o.peers); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseTenants parses "name:weight,name:weight" (weight optional).
+func parseTenants(s string) ([]server.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []server.TenantConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		if name == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant name in %q", s)
+		}
+		tc := server.TenantConfig{Name: name}
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("-tenants: bad weight %q for tenant %q", weightStr, name)
+			}
+			tc.Weight = w
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+// parsePeers parses "name=addr,name=addr".
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("-peers: %q is not name=addr", part)
+		}
+		out[name] = addr
+	}
+	return out, nil
+}
+
+// servingConfig builds the admission-control config when any serving flag
+// is set; nil keeps the node transparent (the pre-serving behaviour).
+// tenants is the already-parsed -tenants value.
+func (o options) servingConfig(tenants []server.TenantConfig) *server.Config {
+	if o.httpAddr == "" && o.rate == 0 && o.queueDepth == 0 && len(tenants) == 0 {
+		return nil
+	}
+	return &server.Config{
+		DefaultRate: o.rate,
+		QueueDepth:  o.queueDepth,
+		Tenants:     tenants,
 	}
 }
 
@@ -78,35 +217,117 @@ func buildCatalog(archive string, baseN int, baseSeed int64, genLevel int) (*cat
 	})
 }
 
-func run(archive, addr string, baseN int, baseSeed int64, genLevel, perBucket int, alpha float64, cacheBuckets, shards int, virtual bool) error {
-	fmt.Printf("synthesizing archive %q (%d base objects, seed %d)...\n", archive, baseN, baseSeed)
-	cat, err := buildCatalog(archive, baseN, baseSeed, genLevel)
+// gatewayExec builds the /v1/query executor: parse SkyQL, compile to a
+// federation plan, and execute it against the portal under the caller's
+// tenant and deadline.
+func gatewayExec(portal *federation.Portal) func(ctx context.Context, tenant, query string) (any, error) {
+	var nextID atomic.Uint64
+	return func(ctx context.Context, tenant, query string) (any, error) {
+		q, err := skyql.Parse(query)
+		if err != nil {
+			return nil, &server.BadRequestError{Err: err}
+		}
+		fq, err := skyql.Compile(q, nextID.Add(1), 0)
+		if err != nil {
+			return nil, &server.BadRequestError{Err: err}
+		}
+		fq.Tenant = tenant
+		rs, err := portal.ExecuteCtx(ctx, fq)
+		if err != nil {
+			return nil, err
+		}
+		rows := rs.Rows
+		if q.Limit > 0 && len(rows) > q.Limit {
+			rows = rows[:q.Limit]
+		}
+		return map[string]any{
+			"rows":        rows,
+			"row_count":   len(rs.Rows),
+			"hop_elapsed": rs.HopElapsed,
+			"shipped":     rs.Shipped,
+		}, nil
+	}
+}
+
+func run(o options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	// validate() already vetted both strings; parse once and reuse.
+	tenants, err := parseTenants(o.tenants)
+	if err != nil {
+		return err
+	}
+	peers, err := parsePeers(o.peers)
+	if err != nil {
+		return err
+	}
+	serving := o.servingConfig(tenants)
+	fmt.Printf("synthesizing archive %q (%d base objects, seed %d)...\n", o.archive, o.baseN, o.baseSeed)
+	cat, err := buildCatalog(o.archive, o.baseN, o.baseSeed, o.genLevel)
 	if err != nil {
 		return err
 	}
 	var clk simclock.Clock = simclock.Real{}
-	if virtual {
+	if o.virtual {
 		clk = simclock.NewVirtual()
 	}
 	node, err := federation.NewNode(federation.NodeConfig{
-		Catalog: cat, ObjectsPerBucket: perBucket,
-		Alpha: alpha, CacheBuckets: cacheBuckets, Shards: shards, Clock: clk,
+		Catalog: cat, ObjectsPerBucket: o.perBucket,
+		Alpha: o.alpha, CacheBuckets: o.cache, Shards: o.shards, Clock: clk,
+		Serving: serving,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
-	srv, err := federation.Serve(node, addr)
+	srv, err := federation.Serve(node, o.addr)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("archive %q serving %d objects on %s (alpha=%.2f, shards=%d)\n",
-		archive, cat.Total(), srv.Addr(), alpha, shards)
+	fmt.Printf("archive %q serving %d objects on %s (alpha=%.2f, shards=%d, admission=%v)\n",
+		o.archive, cat.Total(), srv.Addr(), o.alpha, o.shards, serving != nil)
+
+	var httpSrv *http.Server
+	if o.httpAddr != "" {
+		portal := federation.NewPortal()
+		portal.Register(o.archive, federation.InProc{Node: node})
+		for name, addr := range peers {
+			portal.Register(name, federation.Dial(addr))
+		}
+		gw, err := server.NewGateway(server.GatewayConfig{
+			Exec:   gatewayExec(portal),
+			Server: node.Serving(),
+		})
+		if err != nil {
+			return err
+		}
+		// The gateway is internet-facing: bound every read/write so a
+		// slow or stalled HTTP client cannot pin goroutines without
+		// bound, matching the gob transport's stalled-peer hardening.
+		httpSrv = &http.Server{
+			Addr:              o.httpAddr,
+			Handler:           gw,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      10 * time.Minute, // long-running queries stream their rows
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "liferaftd: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("HTTP gateway on %s (/v1/query, /v1/stats, /healthz)\n", o.httpAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if httpSrv != nil {
+		httpSrv.Shutdown(context.Background())
+	}
 	return nil
 }

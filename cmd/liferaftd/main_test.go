@@ -1,6 +1,85 @@
 package main
 
-import "testing"
+import (
+	"testing"
+)
+
+// defaults mirrors the flag defaults for the validation table test.
+func defaultOptions() options {
+	return options{
+		archive: "sdss", addr: "127.0.0.1:7701", baseN: 200_000, baseSeed: 42,
+		genLevel: 5, perBucket: 500, alpha: 0.25, cache: 20, shards: 1, virtual: true,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		ok     bool
+	}{
+		{"defaults", func(o *options) {}, true},
+		{"alpha low", func(o *options) { o.alpha = -0.01 }, false},
+		{"alpha high", func(o *options) { o.alpha = 1.01 }, false},
+		{"alpha boundary 0", func(o *options) { o.alpha = 0 }, true},
+		{"alpha boundary 1", func(o *options) { o.alpha = 1 }, true},
+		{"bucket zero", func(o *options) { o.perBucket = 0 }, false},
+		{"bucket negative", func(o *options) { o.perBucket = -5 }, false},
+		{"cache zero", func(o *options) { o.cache = 0 }, false},
+		{"shards zero", func(o *options) { o.shards = 0 }, false},
+		{"shards negative", func(o *options) { o.shards = -2 }, false},
+		{"objects zero", func(o *options) { o.baseN = 0 }, false},
+		{"rate negative", func(o *options) { o.rate = -1 }, false},
+		{"rate positive", func(o *options) { o.rate = 10 }, true},
+		{"queue-depth negative", func(o *options) { o.queueDepth = -1 }, false},
+		{"tenants good", func(o *options) { o.tenants = "vip:4,batch" }, true},
+		{"tenants bad weight", func(o *options) { o.tenants = "vip:zero" }, false},
+		{"tenants zero weight", func(o *options) { o.tenants = "vip:0" }, false},
+		{"tenants empty name", func(o *options) { o.tenants = ":3" }, false},
+		{"peers good", func(o *options) { o.peers = "twomass=127.0.0.1:7702" }, true},
+		{"peers bad", func(o *options) { o.peers = "twomass" }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaultOptions()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.ok && err != nil {
+				t.Errorf("validate() = %v, want ok", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("validate() accepted a bad configuration")
+			}
+		})
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	ts, err := parseTenants("vip:4, batch ,slow:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0].Name != "vip" || ts[0].Weight != 4 ||
+		ts[1].Name != "batch" || ts[1].Weight != 0 || ts[2].Weight != 1 {
+		t.Errorf("tenants = %+v", ts)
+	}
+}
+
+func TestServingConfigGating(t *testing.T) {
+	o := defaultOptions()
+	if cfg := o.servingConfig(nil); cfg != nil {
+		t.Errorf("default flags should not enable the serving layer (cfg=%v)", cfg)
+	}
+	o.httpAddr = "127.0.0.1:0"
+	if cfg := o.servingConfig(nil); cfg == nil {
+		t.Error("-http should enable the serving layer")
+	}
+	o = defaultOptions()
+	o.rate = 25
+	if cfg := o.servingConfig(nil); cfg == nil || cfg.DefaultRate != 25 {
+		t.Errorf("-rate should enable the serving layer (cfg=%+v)", cfg)
+	}
+}
 
 func TestBuildCatalogBase(t *testing.T) {
 	cat, err := buildCatalog("sdss", 5000, 1, 3)

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"liferaft/internal/simclock"
+)
+
+// bigJob returns a fixture job spanning at least minAssignments bucket
+// assignments, so a real-clock engine needs many bucket services (tens of
+// milliseconds each) to complete it — long enough that a cancel issued
+// right after submission deterministically lands first.
+func bigJob(t *testing.T, minObjects int) (job Job, rest []Job) {
+	t.Helper()
+	_, jobs := fixture(t)
+	for i, j := range jobs {
+		if len(j.Objects) >= minObjects {
+			return j, append(append([]Job{}, jobs[:i]...), jobs[i+1:]...)
+		}
+	}
+	t.Fatalf("no fixture job with >= %d objects", minObjects)
+	return Job{}, nil
+}
+
+// TestSchedulerCancelDropsQueuedObjects drives the scheduler directly:
+// cancelling one of two admitted queries must remove exactly its workload
+// objects from the queues and leave the other query's intact.
+func TestSchedulerCancelDropsQueuedObjects(t *testing.T) {
+	part, jobs := fixture(t)
+	cfg, _ := NewVirtual(part, 0.5, false)
+	s, err := newScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := cfg.Clock.Now()
+	a, b := jobs[0], jobs[1]
+	if r := s.admit(a, now); r != nil {
+		t.Fatal("job a completed on admit; fixture job should have work")
+	}
+	if r := s.admit(b, now); r != nil {
+		t.Fatal("job b completed on admit; fixture job should have work")
+	}
+	queued := func() (total int, forQuery map[uint64]int) {
+		forQuery = make(map[uint64]int)
+		for _, q := range s.queues {
+			for _, it := range q.items {
+				total++
+				forQuery[it.wo.QueryID]++
+			}
+		}
+		return
+	}
+	_, before := queued()
+	if before[a.ID] == 0 || before[b.ID] == 0 {
+		t.Fatalf("expected queued work for both queries, got %v", before)
+	}
+	memBefore := s.memObjects
+
+	r := s.cancel(a.ID, now.Add(time.Second))
+	if r == nil || !r.Cancelled || r.QueryID != a.ID {
+		t.Fatalf("cancel result = %+v", r)
+	}
+	total, after := queued()
+	if after[a.ID] != 0 {
+		t.Errorf("%d workload objects of cancelled query %d still queued", after[a.ID], a.ID)
+	}
+	if after[b.ID] != before[b.ID] {
+		t.Errorf("survivor query %d: %d objects queued, want %d", b.ID, after[b.ID], before[b.ID])
+	}
+	if want := memBefore - before[a.ID]; s.memObjects != want {
+		t.Errorf("memObjects = %d, want %d", s.memObjects, want)
+	}
+	if total != after[b.ID] {
+		t.Errorf("queues hold %d objects, want only survivor's %d", total, after[b.ID])
+	}
+	if s.stats.Cancelled != 1 || s.stats.CancelledObjects != int64(before[a.ID]) {
+		t.Errorf("stats cancelled=%d objects=%d, want 1/%d",
+			s.stats.Cancelled, s.stats.CancelledObjects, before[a.ID])
+	}
+	// Cancelling again (or an unknown query) is a no-op.
+	if r := s.cancel(a.ID, now); r != nil {
+		t.Error("double cancel should return nil")
+	}
+	if r := s.cancel(999999, now); r != nil {
+		t.Error("cancel of unknown query should return nil")
+	}
+	// The frontier rebuild must keep the scheduler consistent: draining
+	// the survivor completes it.
+	for s.pendingWork() {
+		if _, ok := s.step(cfg.Clock.Now()); !ok {
+			t.Fatal("pending work but step found none")
+		}
+	}
+	if len(s.queries) != 0 {
+		t.Errorf("%d queries still tracked after drain", len(s.queries))
+	}
+}
+
+// TestLiveCancelDropsWork submits a long-running job on the real clock and
+// cancels it: the delivered result must be marked Cancelled and the engine
+// must report dropped workload objects.
+func TestLiveCancelDropsWork(t *testing.T) {
+	part, _ := fixture(t)
+	job, _ := bigJob(t, 60)
+	cfg := NewOn(part, 0.5, false, simclock.Real{})
+	l, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := l.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := <-ch
+	if !ok {
+		t.Fatal("channel closed without a result")
+	}
+	if !r.Cancelled {
+		t.Fatalf("result not cancelled: %+v", r)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := l.Stats()
+	if !ok {
+		t.Fatal("stats unavailable after Close")
+	}
+	if stats.Cancelled != 1 || stats.CancelledObjects == 0 {
+		t.Errorf("stats cancelled=%d objects=%d, want 1 and > 0",
+			stats.Cancelled, stats.CancelledObjects)
+	}
+	if stats.Completed != 0 {
+		t.Errorf("completed = %d, want 0 (only query was cancelled)", stats.Completed)
+	}
+}
+
+// TestLiveSubmitCtx covers the context path: an expired context cancels
+// the query, a background context behaves exactly like Submit.
+func TestLiveSubmitCtx(t *testing.T) {
+	part, _ := fixture(t)
+	job, rest := bigJob(t, 60)
+	cfg := NewOn(part, 0.5, false, simclock.Real{})
+	l, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before submission
+	ch, err := l.SubmitCtx(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := <-ch
+	if !ok || !r.Cancelled {
+		t.Fatalf("result = %+v ok=%v, want a cancelled result", r, ok)
+	}
+
+	// A background context passes through untouched.
+	ch, err = l.SubmitCtx(context.Background(), rest[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok = <-ch
+	if !ok || r.Cancelled || r.QueryID != rest[0].ID {
+		t.Fatalf("background-ctx result = %+v ok=%v", r, ok)
+	}
+}
+
+// TestLiveCancelSharded covers the broadcast path: a cancel on a sharded
+// engine reaches every shard and the merged result is marked Cancelled.
+func TestLiveCancelSharded(t *testing.T) {
+	part, _ := fixture(t)
+	job, _ := bigJob(t, 60)
+	cfg := NewOn(part, 0.5, false, simclock.Real{})
+	cfg.Shards = 2
+	l, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := l.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := <-ch
+	if !ok || !r.Cancelled {
+		t.Fatalf("merged result = %+v ok=%v, want cancelled", r, ok)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := l.Stats()
+	if !ok {
+		t.Fatal("stats unavailable after Close")
+	}
+	if stats.Cancelled != 1 {
+		t.Errorf("merged cancelled = %d, want 1", stats.Cancelled)
+	}
+	if stats.CancelledObjects == 0 {
+		t.Error("no cancelled objects recorded across shards")
+	}
+	if err := l.Cancel(1); err != ErrClosed {
+		t.Errorf("Cancel after Close = %v, want ErrClosed", err)
+	}
+}

@@ -163,6 +163,11 @@ type Result struct {
 	// Pairs holds the materialized matches when the engine is
 	// configured with MaterializeResults.
 	Pairs []xmatch.Pair
+	// Cancelled marks a query withdrawn before completion (Live.Cancel,
+	// or a SubmitCtx context expiring): its remaining workload objects
+	// were dropped from the queues, and the counters above reflect only
+	// the work done before the cancel. Completed is the cancel instant.
+	Cancelled bool
 }
 
 // ResponseTime returns Completed - Arrived.
@@ -181,6 +186,9 @@ func (r *Result) absorb(o Result) {
 	if o.Completed.After(r.Completed) {
 		r.Completed = o.Completed
 	}
+	// A query cancelled on any shard is cancelled as a whole: the merged
+	// result carries only the work done before the (first) cancel.
+	r.Cancelled = r.Cancelled || o.Cancelled
 }
 
 // RunStats aggregates a run.
@@ -196,6 +204,12 @@ type RunStats struct {
 	// overflow extension; SpillFetches counts queue fetch-backs.
 	SpilledObjects int64
 	SpillFetches   int64
+	// Cancelled counts queries withdrawn before completion (merged across
+	// shards by the sharded Live engine, so a query cancelled on several
+	// shards counts once). CancelledObjects counts the workload objects
+	// dropped from the queues by those cancellations.
+	Cancelled        int
+	CancelledObjects int64
 	// PerShard breaks a sharded run down by shard (nil for the
 	// single-disk engine). The aggregate fields above are the merged
 	// view: counters sum across shards and Makespan is the latest shard

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -39,6 +40,7 @@ type Live struct {
 	mu        sync.Mutex
 	closed    bool
 	completed int // sharded mode: merged queries delivered
+	cancelled int // sharded mode: merged queries cancelled
 
 	// Err reports a scheduler construction failure; checked by callers
 	// of NewLive via the returned error instead.
@@ -52,6 +54,11 @@ type submission struct {
 	// setAlpha, when non-nil, is a control message instead of a query:
 	// the scheduling loop updates its age bias (the §4 adaptive knob).
 	setAlpha *float64
+	// cancel, when non-nil, is a control message withdrawing an in-flight
+	// query: its remaining workload objects are dropped from the queues
+	// and its waiter receives a Result with Cancelled set. The inbox is
+	// FIFO, so a cancel always follows the submission it refers to.
+	cancel *uint64
 }
 
 // Clock returns the engine's time source (set by its Config).
@@ -126,6 +133,65 @@ func (l *Live) Submit(job Job) (<-chan Result, error) {
 	return ch, nil
 }
 
+// SubmitCtx is Submit with cancellation: when ctx expires before the query
+// completes, the query is cancelled — its remaining workload objects are
+// dropped from the queues so an abandoned query stops consuming workload
+// slots — and the channel delivers a Result with Cancelled set (carrying
+// the partial work done before the cancel). A ctx that can never be
+// cancelled makes SubmitCtx identical to Submit.
+func (l *Live) SubmitCtx(ctx context.Context, job Job) (<-chan Result, error) {
+	inner, err := l.Submit(job)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return inner, nil
+	}
+	out := make(chan Result, 1)
+	go func() {
+		defer close(out)
+		select {
+		case r, ok := <-inner:
+			if ok {
+				out <- r
+			}
+		case <-ctx.Done():
+			// Best-effort: if the engine is closing, the drain below
+			// still delivers the (uncancelled) result.
+			l.Cancel(job.ID)
+			if r, ok := <-inner; ok {
+				out <- r
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Cancel withdraws an in-flight query by ID: its remaining workload
+// objects are dropped from the queues and its result channel delivers a
+// Result with Cancelled set. Cancelling an unknown or already completed
+// query is a no-op. On a sharded engine the cancel is broadcast to every
+// shard; shards that already finished their part ignore it, and the merged
+// result is marked Cancelled if any shard cancelled.
+func (l *Live) Cancel(id uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.inner != nil {
+		for _, in := range l.inner {
+			if err := in.Cancel(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	qid := id
+	l.inbox <- submission{cancel: &qid}
+	return nil
+}
+
 // submitSharded fans the job out to the shards owning its buckets and
 // merges their results: the delivered Result completes when the last
 // shard does, with assignments and matches summed and pairs concatenated
@@ -187,7 +253,11 @@ func (l *Live) submitSharded(job Job) (<-chan Result, error) {
 		ch <- merged
 		close(ch)
 		l.mu.Lock()
-		l.completed++
+		if merged.Cancelled {
+			l.cancelled++
+		} else {
+			l.completed++
+		}
 		l.mu.Unlock()
 	}()
 	return ch, nil
@@ -254,6 +324,7 @@ func (l *Live) closeSharded() error {
 		})
 		l.mu.Lock()
 		stats.Completed = l.completed
+		stats.Cancelled = l.cancelled
 		l.stats = stats
 		l.statsOK = true
 		l.mu.Unlock()
@@ -283,7 +354,9 @@ func (l *Live) loop(cfg Config, s *scheduler) {
 
 	deliver := func(rs []Result) {
 		for _, r := range rs {
-			completed++
+			if !r.Cancelled {
+				completed++
+			}
 			if ch := waiters[r.QueryID]; ch != nil {
 				ch <- r
 				close(ch)
@@ -294,6 +367,12 @@ func (l *Live) loop(cfg Config, s *scheduler) {
 	admit := func(sub submission) {
 		if sub.setAlpha != nil {
 			s.cfg.Alpha = *sub.setAlpha
+			return
+		}
+		if sub.cancel != nil {
+			if r := s.cancel(*sub.cancel, cfg.Clock.Now()); r != nil {
+				deliver([]Result{*r})
+			}
 			return
 		}
 		waiters[sub.job.ID] = sub.ch

@@ -186,6 +186,58 @@ func (s *scheduler) maybeSpill() {
 	}
 }
 
+// cancel withdraws an in-flight query: every workload object it still has
+// queued is removed from the bucket queues (freeing the slots for other
+// queries), its state is dropped, and a Result with Cancelled set is
+// returned carrying whatever partial work completed before the cancel.
+// Cancelling an unknown (or already completed) query returns nil.
+func (s *scheduler) cancel(qid uint64, now time.Time) *Result {
+	qs := s.queries[qid]
+	if qs == nil {
+		return nil
+	}
+	for idx, q := range s.queues {
+		kept := q.items[:0]
+		removed := 0
+		for _, it := range q.items {
+			if it.wo.QueryID == qid {
+				removed++
+				continue
+			}
+			kept = append(kept, it)
+		}
+		if removed == 0 {
+			continue
+		}
+		q.items = kept
+		if !q.spilled {
+			s.memObjects -= removed
+		}
+		s.stats.CancelledObjects += int64(removed)
+		qs.remaining -= removed
+		if len(q.items) == 0 {
+			delete(s.queues, idx)
+			continue
+		}
+		// Rebuild the age dominance frontier from the surviving items.
+		q.ageFrontier = nil
+		items := q.items
+		q.items = nil
+		for _, it := range items {
+			q.push(it)
+		}
+	}
+	if qs.remaining != 0 {
+		panic(fmt.Sprintf("core: query %d cancelled with %d unaccounted objects", qid, qs.remaining))
+	}
+	delete(s.queries, qid)
+	delete(s.preds, qid)
+	s.stats.Cancelled++
+	qs.result.Completed = now
+	qs.result.Cancelled = true
+	return &qs.result
+}
+
 // pendingWork reports whether any queue holds items.
 func (s *scheduler) pendingWork() bool {
 	for _, q := range s.queues {

@@ -177,6 +177,11 @@ func mergeShardStats(m *shard.Map, get func(s int) (RunStats, int)) RunStats {
 		agg.IndexServices += st.IndexServices
 		agg.SpilledObjects += st.SpilledObjects
 		agg.SpillFetches += st.SpillFetches
+		// Per-shard cancellation counts can overstate the merged view (one
+		// query cancelled on several shards); the sharded Live engine
+		// overwrites Cancelled with the merged query count after this.
+		agg.Cancelled += st.Cancelled
+		agg.CancelledObjects += st.CancelledObjects
 		agg.Disk = agg.Disk.Add(st.Disk)
 		agg.Cache = agg.Cache.Add(st.Cache)
 		if st.Makespan > agg.Makespan {

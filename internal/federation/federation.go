@@ -12,6 +12,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"liferaft/internal/core"
 	"liferaft/internal/geom"
 	"liferaft/internal/htm"
+	"liferaft/internal/server"
 	"liferaft/internal/simclock"
 	"liferaft/internal/xmatch"
 )
@@ -67,6 +69,10 @@ type MatchRequest struct {
 	// no predicate.
 	MagLo, MagHi float64
 	Objects      []Object
+	// Tenant identifies the client for the node's admission control;
+	// empty means the default tenant. Ignored by nodes without a serving
+	// layer (NodeConfig.Serving).
+	Tenant string
 }
 
 // MatchPair is one (local, shipped) match.
@@ -113,15 +119,23 @@ type NodeConfig struct {
 	// cost charging instantaneous (tests, experiments); nil means the
 	// real clock (deployments).
 	Clock simclock.Clock
+	// Serving, when non-nil, puts a multi-tenant serving layer —
+	// per-tenant rate limits, deficit-round-robin fair queueing, and
+	// bounded queues with backpressure — between the transports and the
+	// engine (see internal/server). MatchRequest.Tenant selects the
+	// tenant; rejected queries surface *server.OverloadError.
+	Serving *server.Config
 }
 
 // Node is one archive site: a catalog, its bucket partition, and a live
-// LifeRaft engine batching concurrent cross-match requests.
+// LifeRaft engine batching concurrent cross-match requests — optionally
+// behind a multi-tenant serving layer.
 type Node struct {
-	name   string
-	cat    *catalog.Catalog
-	part   *bucket.Partition
-	engine *core.Live
+	name    string
+	cat     *catalog.Catalog
+	part    *bucket.Partition
+	engine  *core.Live
+	serving *server.Server // nil without NodeConfig.Serving
 
 	mu     sync.Mutex
 	nextID uint64
@@ -152,11 +166,39 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, engine: eng}, nil
+	n := &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, engine: eng}
+	if cfg.Serving != nil {
+		srv, err := server.New(eng, *cfg.Serving)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		n.serving = srv
+	}
+	return n, nil
 }
 
-// Close shuts the node's engine down after draining.
-func (n *Node) Close() error { return n.engine.Close() }
+// Close drains the serving layer (if any), then shuts the node's engine
+// down after draining.
+func (n *Node) Close() error {
+	if n.serving != nil {
+		n.serving.Close()
+	}
+	return n.engine.Close()
+}
+
+// Serving returns the node's serving layer, nil for nodes built without
+// one (the HTTP gateway backs /v1/stats with it).
+func (n *Node) Serving() *server.Server { return n.serving }
+
+// ServingStats snapshots the node's serving layer; ok is false for nodes
+// built without one.
+func (n *Node) ServingStats() (server.Stats, bool) {
+	if n.serving == nil {
+		return server.Stats{}, false
+	}
+	return n.serving.Stats(), true
+}
 
 // Name returns the archive name.
 func (n *Node) Name() string { return n.name }
@@ -182,8 +224,23 @@ func (n *Node) Extract(req ExtractRequest) (ExtractResponse, error) {
 // Match implements the cross-match step: the shipped objects become a
 // LifeRaft job; the node's engine batches it with other in-flight queries.
 func (n *Node) Match(req MatchRequest) (MatchResponse, error) {
+	return n.MatchCtx(context.Background(), req)
+}
+
+// MatchCtx is Match with deadline and cancellation threading: when ctx
+// expires before the cross-match completes, the query is withdrawn all the
+// way into the engine's workload queues (abandoned work stops consuming
+// schedule slots) and ctx.Err() is returned. On a node with a serving
+// layer, the request passes admission control first: rejected queries
+// surface *server.OverloadError without ever reaching the engine.
+func (n *Node) MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, error) {
 	if req.MatchRadiusArcsec <= 0 {
 		return MatchResponse{}, fmt.Errorf("federation: non-positive match radius")
+	}
+	// Fail fast on a dead context: on a virtual clock the engine could
+	// otherwise complete the whole job before a cancel reaches it.
+	if err := ctx.Err(); err != nil {
+		return MatchResponse{}, fmt.Errorf("federation: node %s: query %d: %w", n.name, req.QueryID, err)
 	}
 	radius := geom.ArcsecToRad(req.MatchRadiusArcsec)
 	// Engine job IDs are node-local: remote query IDs from different
@@ -201,14 +258,33 @@ func (n *Node) Match(req MatchRequest) (MatchResponse, error) {
 	if req.MagLo != 0 || req.MagHi != 0 {
 		pred = xmatch.MagnitudeWindow(req.MagLo, req.MagHi)
 	}
+	job := core.Job{ID: jobID, Objects: wos, Pred: pred}
 	start := time.Now()
-	ch, err := n.engine.Submit(core.Job{ID: jobID, Objects: wos, Pred: pred})
+	var (
+		ch  <-chan core.Result
+		err error
+	)
+	if n.serving != nil {
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		ch, err = n.serving.Submit(ctx, tenant, job)
+	} else {
+		ch, err = n.engine.SubmitCtx(ctx, job)
+	}
 	if err != nil {
 		return MatchResponse{}, fmt.Errorf("federation: node %s: %w", n.name, err)
 	}
 	res, ok := <-ch
 	if !ok {
 		return MatchResponse{}, fmt.Errorf("federation: node %s dropped query", n.name)
+	}
+	if res.Cancelled {
+		if err := ctx.Err(); err != nil {
+			return MatchResponse{}, fmt.Errorf("federation: node %s: query %d: %w", n.name, req.QueryID, err)
+		}
+		return MatchResponse{}, fmt.Errorf("federation: node %s: query %d cancelled", n.name, req.QueryID)
 	}
 	resp := MatchResponse{Elapsed: time.Since(start)}
 	for _, p := range res.Pairs {
@@ -242,6 +318,9 @@ type Query struct {
 	MagLo, MagHi float64
 	// Seed drives deterministic subsampling.
 	Seed int64
+	// Tenant identifies the submitting client to each archive's
+	// admission control (empty = default tenant).
+	Tenant string
 }
 
 // Row is one result tuple: the object observed by each archive.
@@ -297,12 +376,28 @@ func (p *Portal) site(name string) (Transport, error) {
 	return t, nil
 }
 
+// ContextTransport is the optional extension of Transport for carrying a
+// deadline/cancellation context across a cross-match hop; InProc and the
+// TCP Client implement it. ExecuteCtx uses it when present and falls back
+// to the plain Match otherwise.
+type ContextTransport interface {
+	MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, error)
+}
+
 // Execute runs the serial left-deep plan: extract at the driving archive,
 // then cross-match the surviving tuple frontier at each subsequent
 // archive, shipping intermediate results site to site (paper §3:
 // "intermediate join results are shipped from database to database until
 // all archives are cross-matched").
 func (p *Portal) Execute(q Query) (*ResultSet, error) {
+	return p.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is Execute with the caller's context threaded through every
+// hop: when ctx expires, the in-flight hop's query is cancelled at its
+// archive (dropping its remaining workload objects from that node's
+// queues) and the plan aborts.
+func (p *Portal) ExecuteCtx(ctx context.Context, q Query) (*ResultSet, error) {
 	if len(q.Archives) < 2 {
 		return nil, fmt.Errorf("federation: cross-match needs >= 2 archives, got %d", len(q.Archives))
 	}
@@ -339,6 +434,9 @@ func (p *Portal) Execute(q Query) (*ResultSet, error) {
 		if len(rows) == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("federation: plan aborted before %s: %w", archive, err)
+		}
 		site, err := p.site(archive)
 		if err != nil {
 			return nil, err
@@ -355,10 +453,16 @@ func (p *Portal) Execute(q Query) (*ResultSet, error) {
 		sort.Slice(shipped, func(i, j int) bool { return shipped[i].ID < shipped[j].ID })
 		rs.Shipped[archive] = len(shipped)
 
-		resp, err := site.Match(MatchRequest{
+		mreq := MatchRequest{
 			QueryID: q.ID, MatchRadiusArcsec: q.MatchRadiusArcsec,
-			MagLo: q.MagLo, MagHi: q.MagHi, Objects: shipped,
-		})
+			MagLo: q.MagLo, MagHi: q.MagHi, Objects: shipped, Tenant: q.Tenant,
+		}
+		var resp MatchResponse
+		if ct, ok := site.(ContextTransport); ok {
+			resp, err = ct.MatchCtx(ctx, mreq)
+		} else {
+			resp, err = site.Match(mreq)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("federation: match at %s: %w", archive, err)
 		}

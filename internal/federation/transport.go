@@ -1,11 +1,13 @@
 package federation
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // InProc adapts a Node to the Transport interface directly, for embedded
@@ -22,6 +24,11 @@ func (t InProc) Extract(req ExtractRequest) (ExtractResponse, error) { return t.
 
 // Match implements Transport.
 func (t InProc) Match(req MatchRequest) (MatchResponse, error) { return t.Node.Match(req) }
+
+// MatchCtx implements ContextTransport.
+func (t InProc) MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, error) {
+	return t.Node.MatchCtx(ctx, req)
+}
 
 // Wire protocol: a version handshake line, then length-free gob streams of
 // request/response envelopes. One request per round trip; connections are
@@ -47,6 +54,7 @@ type rpcResponse struct {
 type Server struct {
 	node *Node
 	ln   net.Listener
+	opts serverOpts
 
 	mu     sync.Mutex
 	closed bool
@@ -54,14 +62,48 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// serverOpts holds the I/O pacing knobs; see the ServerOption builders.
+type serverOpts struct {
+	// ioTimeout bounds the handshake and each response write: a peer
+	// that stops reading cannot wedge a handler goroutine forever.
+	ioTimeout time.Duration
+	// readIdle bounds how long a connection may sit between requests
+	// (and how long a half-written request may stall mid-decode).
+	readIdle time.Duration
+}
+
+// ServerOption tunes Serve.
+type ServerOption func(*serverOpts)
+
+// WithIOTimeout bounds the handshake and each response write (default 30s).
+func WithIOTimeout(d time.Duration) ServerOption {
+	return func(o *serverOpts) { o.ioTimeout = d }
+}
+
+// WithReadIdleTimeout bounds how long the server waits for the next (or a
+// stalled mid-transfer) request on a connection (default 5m). Clients that
+// reuse connections after longer think time transparently re-dial.
+func WithReadIdleTimeout(d time.Duration) ServerOption {
+	return func(o *serverOpts) { o.readIdle = d }
+}
+
 // Serve starts serving node on addr (e.g. "127.0.0.1:7701"). It returns
 // once the listener is bound; connections are handled in the background.
-func Serve(node *Node, addr string) (*Server, error) {
+// Handshake, request-read, and response-write deadlines guard every
+// connection so a stalled or silent peer cannot wedge the RPC loop.
+func Serve(node *Node, addr string, opts ...ServerOption) (*Server, error) {
+	o := serverOpts{ioTimeout: 30 * time.Second, readIdle: 5 * time.Minute}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.ioTimeout <= 0 || o.readIdle <= 0 {
+		return nil, fmt.Errorf("federation: non-positive server timeout")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("federation: listen %s: %w", addr, err)
 	}
-	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{node: node, ln: ln, opts: o, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -112,7 +154,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	// Handshake.
+	// Handshake, under the I/O deadline: a silent dialer is dropped
+	// instead of pinning this goroutine.
+	conn.SetDeadline(time.Now().Add(s.opts.ioTimeout))
 	if _, err := fmt.Fprintf(conn, "%s\n", protoVersion); err != nil {
 		return
 	}
@@ -123,6 +167,9 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		// Reading the next request may idle legitimately (a client
+		// holding the connection between queries) but not forever.
+		conn.SetDeadline(time.Now().Add(s.opts.readIdle))
 		var req rpcRequest
 		if err := dec.Decode(&req); err != nil {
 			return
@@ -156,6 +203,10 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			resp.Err = fmt.Sprintf("federation: unknown request kind %q", req.Kind)
 		}
+		// The response write gets the tighter I/O deadline: the request
+		// has been serviced, and a peer that stopped reading must not
+		// wedge the handler.
+		conn.SetDeadline(time.Now().Add(s.opts.ioTimeout))
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
@@ -163,29 +214,57 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // Client is a TCP Transport to a remote archive node. It holds one
-// connection, re-dialing on demand, and serializes round trips. It is safe
-// for concurrent use.
+// connection, re-dialing on demand, and serializes round trips. Every
+// round trip runs under a deadline so a stalled or silent server surfaces
+// as a prompt error instead of wedging the caller forever. It is safe for
+// concurrent use.
 type Client struct {
-	addr string
+	addr    string
+	timeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	lastUsed time.Time
 }
+
+// DefaultClientTimeout bounds a client round trip (including the dial and
+// handshake) unless DialTimeout overrides it.
+const DefaultClientTimeout = 30 * time.Second
+
+// clientIdleReuse is the age past which a held connection is proactively
+// re-dialed instead of reused: it stays safely under the server's default
+// read-idle timeout, so a request never races the server dropping the
+// connection.
+const clientIdleReuse = time.Minute
 
 // Dial returns a client for the node at addr. The connection is
 // established lazily on first use.
-func Dial(addr string) *Client { return &Client{addr: addr} }
+func Dial(addr string) *Client { return DialTimeout(addr, DefaultClientTimeout) }
 
-func (c *Client) connect() error {
-	if c.conn != nil {
-		return nil
+// DialTimeout is Dial with an explicit per-round-trip deadline.
+func DialTimeout(addr string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultClientTimeout
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	return &Client{addr: addr, timeout: timeout}
+}
+
+func (c *Client) connect(deadline time.Time) error {
+	if c.conn != nil {
+		// A connection idle longer than the server tolerates is
+		// re-dialed rather than raced.
+		if time.Since(c.lastUsed) < clientIdleReuse {
+			return nil
+		}
+		c.reset()
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, time.Until(deadline))
 	if err != nil {
 		return fmt.Errorf("federation: dial %s: %w", c.addr, err)
 	}
+	conn.SetDeadline(deadline)
 	var server string
 	if _, err := fmt.Fscanf(conn, "%s\n", &server); err != nil {
 		conn.Close()
@@ -206,20 +285,79 @@ func (c *Client) connect() error {
 }
 
 func (c *Client) roundTrip(req rpcRequest) (rpcResponse, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx runs one request/response exchange under the earlier of the
+// client timeout and the context deadline. An explicit ctx cancellation
+// (Done fired without a deadline — an abandoned caller) aborts in-flight
+// I/O immediately by expiring the connection deadline, and the torn
+// connection is discarded rather than reused.
+func (c *Client) roundTripCtx(ctx context.Context, req rpcRequest) (rpcResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.connect(); err != nil {
+	if err := ctx.Err(); err != nil {
+		return rpcResponse{}, fmt.Errorf("federation: %w", err)
+	}
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	// watch expires conn's deadline the moment ctx is cancelled
+	// (net.Conn deadlines are safe to set concurrently); the returned
+	// stop ends the watch.
+	watch := func(conn net.Conn) func() {
+		if ctx.Done() == nil {
+			return func() {}
+		}
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+		return func() { close(stop) }
+	}
+	defer func() {
+		// A cancelled exchange leaves the stream mid-message: never
+		// reuse the connection.
+		if ctx.Err() != nil {
+			c.reset()
+		}
+	}()
+
+	if err := c.connect(deadline); err != nil {
 		return rpcResponse{}, err
 	}
+	c.conn.SetDeadline(deadline)
+	c.lastUsed = time.Now()
+	stop := watch(c.conn)
 	var resp rpcResponse
 	if err := c.enc.Encode(&req); err != nil {
+		// A reused connection may have been dropped server-side while
+		// idle; one fresh dial retries the (not yet executed) request.
+		stop()
 		c.reset()
-		return rpcResponse{}, fmt.Errorf("federation: send: %w", err)
+		if err2 := c.connect(deadline); err2 != nil {
+			return rpcResponse{}, fmt.Errorf("federation: send: %w", err)
+		}
+		c.conn.SetDeadline(deadline)
+		stop = watch(c.conn)
+		if err2 := c.enc.Encode(&req); err2 != nil {
+			stop()
+			c.reset()
+			return rpcResponse{}, fmt.Errorf("federation: send: %w", err2)
+		}
 	}
 	if err := c.dec.Decode(&resp); err != nil {
+		stop()
 		c.reset()
 		return rpcResponse{}, fmt.Errorf("federation: receive: %w", err)
 	}
+	stop()
+	c.lastUsed = time.Now()
 	if resp.Err != "" {
 		return rpcResponse{}, errors.New(resp.Err)
 	}
@@ -264,7 +402,16 @@ func (c *Client) Extract(req ExtractRequest) (ExtractResponse, error) {
 
 // Match implements Transport.
 func (c *Client) Match(req MatchRequest) (MatchResponse, error) {
-	resp, err := c.roundTrip(rpcRequest{Kind: "match", Match: &req})
+	return c.MatchCtx(context.Background(), req)
+}
+
+// MatchCtx implements ContextTransport: the context deadline tightens the
+// round-trip deadline, so an abandoned federation query stops waiting on
+// the remote hop promptly. (The remote engine's own cancellation still
+// requires the remote node's serving-layer deadline; the wire protocol
+// carries no cancel message.)
+func (c *Client) MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, error) {
+	resp, err := c.roundTripCtx(ctx, rpcRequest{Kind: "match", Match: &req})
 	if err != nil {
 		return MatchResponse{}, err
 	}

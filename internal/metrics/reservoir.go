@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Reservoir is a bounded uniform sample of a value stream (Vitter's
+// Algorithm R): after n observations each one is retained with probability
+// cap/n, so summaries computed from the sample stay unbiased while memory
+// stays fixed. The serving layer uses one reservoir per tenant for
+// response-time breakdowns that must survive tenants submitting millions
+// of queries.
+//
+// A Reservoir is not safe for concurrent use; callers serialize access.
+type Reservoir struct {
+	cap   int
+	seen  int64
+	vals  []float64
+	rng   *rand.Rand
+	min   float64
+	max   float64
+	total float64
+}
+
+// NewReservoir returns a reservoir holding at most cap values. The seed
+// makes replacement decisions deterministic for reproducible tests.
+func NewReservoir(cap int, seed int64) (*Reservoir, error) {
+	if cap < 1 {
+		return nil, fmt.Errorf("metrics: reservoir capacity %d must be >= 1", cap)
+	}
+	return &Reservoir{cap: cap, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Add observes one value.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if r.seen == 1 || x < r.min {
+		r.min = x
+	}
+	if r.seen == 1 || x > r.max {
+		r.max = x
+	}
+	r.total += x
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, x)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.vals[j] = x
+	}
+}
+
+// Count returns the number of values observed (not retained).
+func (r *Reservoir) Count() int64 { return r.seen }
+
+// Summary summarizes the stream: Count, Mean, Min, and Max are exact over
+// every observed value; the dispersion and percentile fields are estimated
+// from the retained sample. An empty reservoir yields the zero Summary.
+func (r *Reservoir) Summary() Summary {
+	if r.seen == 0 {
+		return Summary{}
+	}
+	s := Summarize(r.vals)
+	s.Count = int(r.seen)
+	s.Mean = r.total / float64(r.seen)
+	s.Min = r.min
+	s.Max = r.max
+	if s.Mean != 0 {
+		s.CoV = s.StdDev / s.Mean
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/catalog"
+	"liferaft/internal/core"
+	"liferaft/internal/geom"
+	"liferaft/internal/workload"
+)
+
+// BenchmarkServerSubmit measures the serving layer's end-to-end overhead:
+// admission, fair queueing, dispatch, and result relay around a 4-shard
+// virtual-clock engine.
+func BenchmarkServerSubmit(b *testing.B) {
+	local, err := catalog.New(catalog.Config{
+		Name: "sdss", N: 12_800, Seed: 21, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote, err := catalog.NewDerived(local, catalog.DerivedConfig{
+		Name: "twomass", Seed: 22, Fraction: 0.8,
+		JitterRad: geom.ArcsecToRad(1.5), CacheTrixels: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := bucket.NewPartition(local, 400, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tcfg := workload.DefaultTraceConfig(41)
+	tcfg.NumQueries = 64
+	tr, err := workload.Generate(tcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []core.Job
+	for _, q := range tr.Queries {
+		jobs = append(jobs, core.Job{Objects: workload.Materialize(q, remote, tcfg.Seed), Pred: q.Predicate()})
+	}
+	cfg, _ := core.NewVirtual(part, 0.5, false)
+	cfg.Shards = 4
+	eng, err := core.NewLive(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	s, err := New(eng, Config{MaxInFlight: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := s.Submit(context.Background(), "bench", withID(jobs[i%len(jobs)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := <-ch; !ok {
+			b.Fatal("query dropped")
+		}
+	}
+}

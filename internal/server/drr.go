@@ -1,0 +1,108 @@
+package server
+
+// fairQueue schedules pending work across tenants by deficit round robin
+// (Shreedhar & Varghese, SIGCOMM '95): each flow (tenant) holds a FIFO of
+// jobs with integer costs; on each visit a flow's deficit grows by
+// quantum x weight and it may release jobs while the deficit covers their
+// cost. Over time every backlogged flow receives service proportional to
+// its weight regardless of how many jobs it enqueues — a tenant flooding
+// ten thousand queries cannot starve a tenant submitting one.
+//
+// fairQueue is not safe for concurrent use; the Server serializes access
+// under its mutex.
+type fairQueue struct {
+	quantum int64
+	flows   map[string]*flow
+	ring    []*flow // backlogged flows; head is the next visited
+	queued  int
+}
+
+type flow struct {
+	name     string
+	weight   int64
+	queue    []*pending
+	deficit  int64
+	credited bool // deficit already granted for the current visit
+	active   bool // in the ring
+}
+
+func newFairQueue(quantum int) *fairQueue {
+	return &fairQueue{quantum: int64(quantum), flows: make(map[string]*flow)}
+}
+
+// jobCost is the DRR cost of a job: its workload-object count, the unit
+// the engine's service time actually scales with. Empty jobs cost 1 so
+// they still consume schedule share.
+func jobCost(p *pending) int64 {
+	if n := int64(len(p.job.Objects)); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// flowFor returns the named flow, creating it with the given weight.
+func (f *fairQueue) flowFor(name string, weight int) *flow {
+	fl := f.flows[name]
+	if fl == nil {
+		if weight < 1 {
+			weight = 1
+		}
+		fl = &flow{name: name, weight: int64(weight)}
+		f.flows[name] = fl
+	}
+	return fl
+}
+
+// push enqueues p on its tenant's flow.
+func (f *fairQueue) push(fl *flow, p *pending) {
+	fl.queue = append(fl.queue, p)
+	f.queued++
+	if !fl.active {
+		fl.active = true
+		fl.deficit = 0
+		fl.credited = false
+		f.ring = append(f.ring, fl)
+	}
+}
+
+// empty reports whether no flow holds work.
+func (f *fairQueue) empty() bool { return f.queued == 0 }
+
+// len returns the total queued jobs across flows.
+func (f *fairQueue) len() int { return f.queued }
+
+// pop releases the next job per DRR. It panics on an empty queue; callers
+// check empty() first. Each full ring pass credits every backlogged flow,
+// so a job costlier than one quantum is released after proportionally many
+// passes — weighted fairness emerges from exactly this accumulation.
+func (f *fairQueue) pop() *pending {
+	if f.queued == 0 {
+		panic("server: pop on empty fair queue")
+	}
+	for {
+		fl := f.ring[0]
+		if !fl.credited {
+			fl.deficit += f.quantum * fl.weight
+			fl.credited = true
+		}
+		if cost := jobCost(fl.queue[0]); cost <= fl.deficit {
+			p := fl.queue[0]
+			fl.queue[0] = nil // release the reference
+			fl.queue = fl.queue[1:]
+			fl.deficit -= cost
+			f.queued--
+			if len(fl.queue) == 0 {
+				// An emptied flow leaves the ring and forfeits its
+				// deficit: credit must not accumulate while idle.
+				fl.active = false
+				fl.deficit = 0
+				fl.credited = false
+				f.ring = f.ring[1:]
+			}
+			return p
+		}
+		// Head job unaffordable: move to the back, re-credit next visit.
+		fl.credited = false
+		f.ring = append(f.ring[1:], fl)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"testing"
+
+	"liferaft/internal/core"
+	"liferaft/internal/xmatch"
+)
+
+// mkPending fabricates a pending job with the given workload-object count
+// (the DRR cost unit).
+func mkPending(id uint64, objects int) *pending {
+	return &pending{job: core.Job{ID: id, Objects: make([]xmatch.WorkloadObject, objects)}}
+}
+
+// TestFairQueueFIFOWithinFlow: one flow pops in submission order.
+func TestFairQueueFIFOWithinFlow(t *testing.T) {
+	fq := newFairQueue(4)
+	fl := fq.flowFor("a", 1)
+	for i := uint64(1); i <= 5; i++ {
+		fq.push(fl, mkPending(i, 3))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if p := fq.pop(); p.job.ID != i {
+			t.Fatalf("pop = %d, want %d", p.job.ID, i)
+		}
+	}
+	if !fq.empty() {
+		t.Error("queue should be empty")
+	}
+}
+
+// TestFairQueueEqualShares: two backlogged flows with equal weights and
+// equal costs alternate service, so a flood from one cannot starve the
+// other.
+func TestFairQueueEqualShares(t *testing.T) {
+	fq := newFairQueue(4)
+	flood := fq.flowFor("flood", 1)
+	steady := fq.flowFor("steady", 1)
+	for i := 0; i < 100; i++ {
+		fq.push(flood, mkPending(uint64(i), 8))
+	}
+	for i := 0; i < 10; i++ {
+		fq.push(steady, mkPending(uint64(1000+i), 8))
+	}
+	// Within the first 25 pops, the steady tenant must have received
+	// close to half the service despite being outnumbered 10:1.
+	got := 0
+	for i := 0; i < 25; i++ {
+		if fq.pop().job.ID >= 1000 {
+			got++
+		}
+	}
+	if got < 10 {
+		t.Errorf("steady tenant got %d of its 10 jobs in 25 pops; flood starved it", got)
+	}
+}
+
+// TestFairQueueWeightedShares: a weight-3 flow receives ~3x the service
+// of a weight-1 flow, measured in cost units.
+func TestFairQueueWeightedShares(t *testing.T) {
+	fq := newFairQueue(4)
+	heavy := fq.flowFor("heavy", 3)
+	light := fq.flowFor("light", 1)
+	for i := 0; i < 200; i++ {
+		fq.push(heavy, mkPending(uint64(i), 6))
+		fq.push(light, mkPending(uint64(1000+i), 6))
+	}
+	heavyCost, lightCost := 0, 0
+	for i := 0; i < 120; i++ {
+		p := fq.pop()
+		if p.job.ID >= 1000 {
+			lightCost += len(p.job.Objects)
+		} else {
+			heavyCost += len(p.job.Objects)
+		}
+	}
+	ratio := float64(heavyCost) / float64(lightCost)
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Errorf("heavy/light service ratio = %.2f, want ~3 (weights 3:1)", ratio)
+	}
+}
+
+// TestFairQueueCostFairness: flows with very different per-job costs get
+// equal service measured in cost, not in job count.
+func TestFairQueueCostFairness(t *testing.T) {
+	fq := newFairQueue(4)
+	big := fq.flowFor("big", 1)
+	small := fq.flowFor("small", 1)
+	for i := 0; i < 50; i++ {
+		fq.push(big, mkPending(uint64(i), 20))
+	}
+	for i := 0; i < 1000; i++ {
+		fq.push(small, mkPending(uint64(10000+i), 1))
+	}
+	bigCost, smallCost := 0, 0
+	for i := 0; i < 400; i++ {
+		p := fq.pop()
+		if p.job.ID >= 10000 {
+			smallCost++
+		} else {
+			bigCost += 20
+		}
+	}
+	ratio := float64(bigCost) / float64(smallCost)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("big/small cost ratio = %.2f, want ~1 (equal weights)", ratio)
+	}
+}
+
+// TestFairQueueIdleFlowForfeitsDeficit: a flow that drains and re-enters
+// starts from zero deficit — idle time must not bank credit.
+func TestFairQueueIdleFlowForfeitsDeficit(t *testing.T) {
+	fq := newFairQueue(1)
+	fl := fq.flowFor("a", 1)
+	fq.push(fl, mkPending(1, 1))
+	fq.pop()
+	if fl.active || fl.deficit != 0 {
+		t.Errorf("drained flow: active=%v deficit=%d, want inactive with 0", fl.active, fl.deficit)
+	}
+	// Re-entering requires fresh accumulation: a cost-5 job under
+	// quantum 1 needs 5 visits.
+	fq.push(fl, mkPending(2, 5))
+	if p := fq.pop(); p.job.ID != 2 {
+		t.Fatalf("pop = %d", p.job.ID)
+	}
+	if fl.deficit != 0 {
+		t.Errorf("deficit after exact-cost pop = %d, want 0", fl.deficit)
+	}
+}

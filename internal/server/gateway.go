@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+)
+
+// Gateway is the HTTP+JSON front door of a LifeRaft node, served alongside
+// the gob TCP federation transport:
+//
+//	POST /v1/query   {"tenant": "...", "query": "<SkyQL>", "timeout_ms": 0}
+//	GET  /v1/stats   serving-layer snapshot (per-tenant breakdowns)
+//	GET  /healthz    liveness probe
+//
+// Query execution is injected (GatewayConfig.Exec) so the gateway stays
+// independent of the federation layer: the daemon wires Exec to parse
+// SkyQL and drive its portal, and the admission path inside the node
+// applies the per-tenant limits. Backpressure surfaces as HTTP 429 with a
+// Retry-After header; an expired deadline as 504.
+type Gateway struct {
+	cfg GatewayConfig
+	mux *http.ServeMux
+}
+
+// GatewayConfig configures a Gateway.
+type GatewayConfig struct {
+	// Exec executes one admitted query for a tenant and returns a
+	// JSON-marshalable result. Required.
+	Exec func(ctx context.Context, tenant, query string) (any, error)
+	// Server, when set, backs /v1/stats with its snapshot.
+	Server *Server
+	// DefaultTimeout bounds queries that do not ask for a deadline
+	// (default 30s). MaxTimeout caps what clients may ask for
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// NewGateway validates cfg and builds the handler.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("server: GatewayConfig.Exec is required")
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	g := &Gateway{cfg: cfg, mux: http.NewServeMux()}
+	g.mux.HandleFunc("/v1/query", g.handleQuery)
+	g.mux.HandleFunc("/v1/stats", g.handleStats)
+	g.mux.HandleFunc("/healthz", g.handleHealth)
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// BadRequestError marks an execution error as the client's fault (SkyQL
+// parse/compile/validation failures): the gateway maps it to HTTP 400.
+// Unwrapped errors from Exec are treated as server-side faults (502), so
+// a down federation peer is never misreported as a bad query.
+type BadRequestError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped cause.
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// queryRequest is the /v1/query body.
+type queryRequest struct {
+	// Tenant identifies the client for admission control; the X-Tenant
+	// header is an alternative. Empty means "default".
+	Tenant string `json:"tenant"`
+	// Query is the SkyQL text.
+	Query string `json:"query"`
+	// TimeoutMillis bounds execution; 0 means the gateway default.
+	TimeoutMillis int64 `json:"timeout_ms"`
+}
+
+type queryResponse struct {
+	Tenant    string  `json:"tenant"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Result    any     `json:"result"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMillis is set on 429 responses (alongside the standard
+	// Retry-After header, which only has seconds resolution).
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Tenant")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty query"})
+		return
+	}
+	timeout := g.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > g.cfg.MaxTimeout {
+			timeout = g.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := g.cfg.Exec(ctx, req.Tenant, req.Query)
+	if err != nil {
+		g.writeError(w, req.Tenant, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Tenant:    req.Tenant,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Result:    res,
+	})
+}
+
+// writeError maps execution errors onto HTTP statuses: backpressure to
+// 429 + Retry-After, expired deadlines to 504, client mistakes
+// (BadRequestError: SkyQL parse/compile failures) to 400, and every other
+// execution failure — a down peer, a dropped query — to 502.
+func (g *Gateway) writeError(w http.ResponseWriter, tenant string, err error) {
+	var over *OverloadError
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &over):
+		secs := int64(math.Ceil(over.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:            err.Error(),
+			RetryAfterMillis: over.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.As(err, &bad):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+	}
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	if g.cfg.Server == nil {
+		writeJSON(w, http.StatusOK, Stats{})
+		return
+	}
+	writeJSON(w, http.StatusOK, g.cfg.Server.Stats())
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"math"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter measured against the
+// serving clock: tokens accrue at rate per second up to burst, and each
+// admitted query spends one. Running it on the engine's clock means the
+// limiter is exact under the virtual clock (tests, capacity planning) and
+// the real clock (deployments) alike.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a full bucket. rate must be positive; burst is
+// clamped to at least 1 token.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := math.Max(1, float64(burst))
+	return &tokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+func (b *tokenBucket) refill(now time.Time) {
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		}
+	}
+	b.last = now
+}
+
+// take spends n tokens if available.
+func (b *tokenBucket) take(n float64, now time.Time) bool {
+	b.refill(now)
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// wait returns how long until n tokens will have accrued — the
+// Retry-After hint handed to a rate-limited tenant.
+func (b *tokenBucket) wait(n float64, now time.Time) time.Duration {
+	b.refill(now)
+	deficit := n - b.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	return time.Duration(deficit / b.rate * float64(time.Second))
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b := newTokenBucket(2, 4) // 2 tokens/sec, burst 4
+
+	// The bucket starts full: the burst is admitted back to back.
+	for i := 0; i < 4; i++ {
+		if !b.take(1, t0) {
+			t.Fatalf("take %d of initial burst failed", i)
+		}
+	}
+	if b.take(1, t0) {
+		t.Fatal("empty bucket admitted a query")
+	}
+	// Retry hint: one token at 2/sec is 500ms away.
+	if w := b.wait(1, t0); w != 500*time.Millisecond {
+		t.Errorf("wait = %v, want 500ms", w)
+	}
+	// After 1s, two tokens have accrued.
+	t1 := t0.Add(time.Second)
+	if !b.take(1, t1) || !b.take(1, t1) {
+		t.Fatal("refilled tokens not admitted")
+	}
+	if b.take(1, t1) {
+		t.Fatal("third query admitted after only 2 tokens refilled")
+	}
+	// Refill clamps at burst: a long idle period cannot bank more than
+	// the bucket holds.
+	t2 := t1.Add(time.Hour)
+	b.refill(t2)
+	if b.tokens != 4 {
+		t.Errorf("tokens after long idle = %v, want burst 4", b.tokens)
+	}
+	// Time moving backwards (clock skew) must not mint tokens.
+	for i := 0; i < 4; i++ {
+		b.take(1, t2)
+	}
+	if b.take(1, t2.Add(-time.Minute)) {
+		t.Error("backwards clock minted tokens")
+	}
+}
+
+func TestTokenBucketBurstClamp(t *testing.T) {
+	b := newTokenBucket(1, 0)
+	if b.burst != 1 {
+		t.Errorf("burst clamped to %v, want 1", b.burst)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -230,5 +231,50 @@ func TestCoordinatorConcurrent(t *testing.T) {
 	}
 	if c.Pending() != 0 {
 		t.Fatalf("pending %d, want 0", c.Pending())
+	}
+}
+
+// TestByHTMHashBalance: hashing must spread buckets across shards without
+// gross imbalance, across several shard counts and partition sizes. The
+// assignment is deterministic (splitmix64 of each bucket's span start), so
+// the tolerance only needs to absorb binomial spread, not flakiness: every
+// shard must own at least one bucket and no shard may exceed twice its
+// fair share plus the binomial standard deviation.
+func TestByHTMHashBalance(t *testing.T) {
+	for _, perBucket := range []int{50, 100, 200} {
+		part := testPartition(t, perBucket) // 128, 64, 32 buckets
+		n := part.NumBuckets()
+		for _, k := range []int{2, 4, 8} {
+			m, err := NewMap(part, k, ByHTMHash{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean := float64(n) / float64(k)
+			sd := math.Sqrt(mean * (1 - 1/float64(k)))
+			min, max, total := n, 0, 0
+			for s := 0; s < k; s++ {
+				c := m.Buckets(s)
+				total += c
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if total != n {
+				t.Fatalf("buckets=%d shards=%d: counts sum to %d", n, k, total)
+			}
+			if min == 0 {
+				t.Errorf("buckets=%d shards=%d: a shard owns no buckets", n, k)
+			}
+			if float64(max) > 2*mean+sd {
+				t.Errorf("buckets=%d shards=%d: max %d exceeds 2*mean+sd (%.1f)", n, k, max, 2*mean+sd)
+			}
+			if float64(max-min) > mean+2*sd {
+				t.Errorf("buckets=%d shards=%d: spread max-min = %d-%d exceeds mean+2sd (%.1f)",
+					n, k, max, min, mean+2*sd)
+			}
+		}
 	}
 }

@@ -55,15 +55,40 @@
 // (FedNodeConfig.Shards) all accept the knob; cmd/skybench and
 // cmd/liferaftd expose it as -shards.
 //
+// # Multi-tenant serving
+//
+// The paper trades throughput against starvation per bucket; a production
+// archive must make the same trade per client. NewServer wraps a Live
+// engine in a serving layer: per-tenant token-bucket rate limits, a
+// deficit-round-robin fair queue across tenants, bounded queues with
+// explicit backpressure (OverloadError carries a retry-after), and
+// deadline/cancellation threading — a query whose context expires is
+// withdrawn from the engine's workload queues (Live.SubmitCtx,
+// Live.Cancel), so abandoned work stops consuming schedule slots.
+//
+//	eng, _ := liferaft.NewLive(cfg)
+//	srv, _ := liferaft.NewServer(eng, liferaft.ServerConfig{
+//		Tenants: []liferaft.TenantConfig{{Name: "vip", Weight: 4}},
+//		DefaultRate: 50, QueueDepth: 32,
+//	})
+//	ch, err := srv.Submit(ctx, "vip", job)
+//
+// Federation nodes take the same layer via FedNodeConfig.Serving, and
+// cmd/liferaftd exposes it as -rate, -queue-depth, and -tenants, plus an
+// HTTP+JSON gateway (-http) accepting SkyQL on /v1/query with per-tenant
+// stats on /v1/stats. See examples/multitenant for the fairness demo and
+// README.md for the daemon walkthrough.
+//
 // # Contributing
 //
-// CI (.github/workflows/ci.yml) gates every change on:
+// See README.md for a repository overview. CI (.github/workflows/ci.yml)
+// gates every change on:
 //
 //	go build ./...
 //	go vet ./...
 //	gofmt -l .            # must print nothing
-//	go test ./...
-//	go test -race ./internal/core/... ./internal/shard/... ./internal/federation/...
+//	go test -shuffle=on ./...
+//	go test -race ./internal/core/... ./internal/shard/... ./internal/federation/... ./internal/server/...
 //	go test -bench=. -benchtime=1x -run='^$' ./...
 //
 // Keep all of them green locally before sending a change.
@@ -83,6 +108,7 @@ import (
 	"liferaft/internal/geom"
 	"liferaft/internal/htm"
 	"liferaft/internal/metrics"
+	"liferaft/internal/server"
 	"liferaft/internal/shard"
 	"liferaft/internal/simclock"
 	"liferaft/internal/skyql"
@@ -170,6 +196,50 @@ var (
 	NewSaturationEstimator = core.NewSaturationEstimator
 	// NewAdaptive wraps a Live engine with saturation-driven α retuning.
 	NewAdaptive = core.NewAdaptive
+)
+
+// ---- Multi-tenant serving layer ----
+
+// Serving types; see internal/server for full documentation. The serving
+// layer sits between clients and a Live engine and provides per-tenant
+// token-bucket admission control, a deficit-round-robin fair queue across
+// tenants, bounded queues with explicit backpressure (OverloadError with a
+// retry-after), and deadline/cancellation threading into the engine's
+// workload queues (Live.SubmitCtx / Live.Cancel).
+type (
+	// Server is the admission-control + fair-queueing layer.
+	Server = server.Server
+	// ServerConfig configures a Server (rates, queue depths, tenants).
+	ServerConfig = server.Config
+	// TenantConfig declares one tenant's limits and DRR weight.
+	TenantConfig = server.TenantConfig
+	// ServerStats is a serving-layer snapshot with per-tenant breakdowns.
+	ServerStats = server.Stats
+	// TenantStats is one tenant's breakdown, including a response-time
+	// Summary sampled at bounded memory.
+	TenantStats = server.TenantStats
+	// OverloadError is the backpressure signal (reason + retry-after).
+	OverloadError = server.OverloadError
+	// Gateway is the HTTP+JSON front door (/v1/query, /v1/stats, /healthz).
+	Gateway = server.Gateway
+	// GatewayConfig configures a Gateway.
+	GatewayConfig = server.GatewayConfig
+)
+
+// Admission rejection reasons carried by OverloadError.
+const (
+	OverloadRate    = server.OverloadRate
+	OverloadQueue   = server.OverloadQueue
+	OverloadTenants = server.OverloadTenants
+)
+
+var (
+	// NewServer starts a serving layer over a Live engine.
+	NewServer = server.New
+	// NewGateway builds the HTTP handler over a query executor.
+	NewGateway = server.NewGateway
+	// ErrServerClosed is returned by Server.Submit after Close.
+	ErrServerClosed = server.ErrClosed
 )
 
 // ---- Catalogs (synthetic sky archives) ----
