@@ -4,19 +4,23 @@
 // Usage:
 //
 //	skybench [-scale ci|mid|paper] [-exp all|fig2|fig4|fig5|fig6|fig7|fig8|indexonly|cache|ablations]
+//	skybench -bench-json BENCH_3.json
 //
 // Examples:
 //
 //	skybench                      # every experiment at CI scale
 //	skybench -scale mid -exp fig7 # the headline comparison at 2,000 buckets
+//	skybench -bench-json BENCH_3.json  # scheduler perf snapshot for the trajectory
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"liferaft/internal/core"
 	"liferaft/internal/exper"
 )
 
@@ -24,12 +28,89 @@ func main() {
 	scaleName := flag.String("scale", "ci", "experiment scale: ci, mid, or paper")
 	expName := flag.String("exp", "all", "experiment: all, fig2, fig4, fig5, fig6, fig7, fig8, indexonly, cache, ablations")
 	shards := flag.Int("shards", 1, "disk/worker shards per engine (1 = the paper's single disk)")
+	benchJSON := flag.String("bench-json", "", "measure the scheduler hot path (vqps, picks/sec, allocs/op), print an old-vs-new comparison, write the snapshot to this file, and exit")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*scaleName, *expName, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// benchSnapshot is the BENCH_<pr>.json payload: one end-to-end virtual
+// throughput figure plus the scheduler hot-path probes at three scales.
+// Future PRs append their own snapshots, forming a perf trajectory.
+type benchSnapshot struct {
+	GeneratedBy     string            `json:"generated_by"`
+	VQPS            float64           `json:"vqps"`
+	PicksPerSec     float64           `json:"picks_per_sec_10k"`
+	PickSpeedup     float64           `json:"pick_speedup_10k"`
+	StepAllocsPerOp float64           `json:"step_allocs_per_op_10k"`
+	Probes          []core.PerfReport `json:"probes"`
+}
+
+// runBenchJSON measures the scheduler hot path at B ∈ {1k, 10k, 100k}
+// active buckets, replays the CI-scale trace for an end-to-end vqps
+// figure, prints a benchstat-style old-vs-new table, and writes the
+// snapshot to path.
+func runBenchJSON(path string) error {
+	snap := benchSnapshot{GeneratedBy: "skybench -bench-json"}
+	fmt.Println("scheduler pick: exhaustive scan (old) vs incremental index (new)")
+	fmt.Printf("%-14s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
+	for _, b := range []int{1_000, 10_000, 100_000} {
+		rep, err := core.PerfProbe(b)
+		if err != nil {
+			return err
+		}
+		snap.Probes = append(snap.Probes, rep)
+		fmt.Printf("%-14s %14.0f %14.0f %8.1f%% %8.1fx\n",
+			fmt.Sprintf("Pick/B=%d", b), rep.PickNsScan, rep.PickNsIndexed,
+			100*(rep.PickNsIndexed-rep.PickNsScan)/rep.PickNsScan, rep.PickSpeedup)
+		if b == 10_000 {
+			snap.PicksPerSec = rep.PicksPerSec
+			snap.PickSpeedup = rep.PickSpeedup
+			snap.StepAllocsPerOp = rep.StepAllocsPerOp
+		}
+	}
+	for _, p := range snap.Probes {
+		fmt.Printf("Step/B=%-7d %14s %14.0f %9s %9s  (%.2f allocs/op)\n",
+			p.Buckets, "-", p.StepNsPerOp, "-", "-", p.StepAllocsPerOp)
+	}
+
+	// End-to-end: the CI-scale saturated LifeRaft replay.
+	scale, err := exper.ScaleByName("ci")
+	if err != nil {
+		return err
+	}
+	env, err := exper.NewEnv(scale)
+	if err != nil {
+		return err
+	}
+	cfg, _ := core.NewVirtual(env.Part, 0.5, false)
+	_, stats, err := core.Run(cfg, env.Jobs, env.SaturatedOffsets())
+	if err != nil {
+		return err
+	}
+	snap.VQPS = stats.Throughput()
+	fmt.Printf("end-to-end: %.2f virtual queries/sec over %d queries (%s scale)\n",
+		snap.VQPS, stats.Completed, scale.Name)
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func run(scaleName, expName string, shards int) error {

@@ -110,7 +110,17 @@ func (p *Partition) Catalog() *catalog.Catalog { return p.cat }
 // produced by htm.CoverCap) to the indices of all buckets whose span
 // overlaps any range. The result is sorted and duplicate-free.
 func (p *Partition) BucketsForRanges(rs []htm.Range) []int {
-	var out []int
+	return p.AppendBucketsForRanges(nil, rs)
+}
+
+// AppendBucketsForRanges is BucketsForRanges into a caller-provided
+// buffer: the overlapping bucket indices are appended to dst (normally
+// dst[:0] of a reused slice) and the sorted, duplicate-free result
+// returned. The scheduler's admission path uses this to avoid one slice
+// allocation per workload object.
+func (p *Partition) AppendBucketsForRanges(dst []int, rs []htm.Range) []int {
+	out := dst
+	base := len(out)
 	n := len(p.buckets)
 	for _, r := range rs {
 		// First bucket whose span may overlap r: spans are ordered by
@@ -120,18 +130,19 @@ func (p *Partition) BucketsForRanges(rs []htm.Range) []int {
 			out = append(out, i)
 		}
 	}
-	if len(out) <= 1 {
+	added := out[base:]
+	if len(added) <= 1 {
 		return out
 	}
-	sort.Ints(out)
+	sort.Ints(added)
 	w := 1
-	for i := 1; i < len(out); i++ {
-		if out[i] != out[w-1] {
-			out[w] = out[i]
+	for i := 1; i < len(added); i++ {
+		if added[i] != added[w-1] {
+			added[w] = added[i]
 			w++
 		}
 	}
-	return out[:w]
+	return out[:base+w]
 }
 
 // Materialize generates the objects of bucket i, sorted by HTM ID. The

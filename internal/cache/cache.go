@@ -12,7 +12,6 @@
 package cache
 
 import (
-	"container/list"
 	"fmt"
 )
 
@@ -68,19 +67,36 @@ type Cache[K comparable, V any] interface {
 	Cap() int
 	// Stats returns a snapshot of the counters.
 	Stats() Stats
+	// OnEvict registers fn to be called whenever an entry leaves the
+	// cache through POLICY eviction (capacity pressure during Put or a
+	// policy-internal promotion). Explicit Remove does not fire it. The
+	// hook runs after the mutation completes, so it observes a
+	// consistent cache (Contains(k) is already false for the evicted
+	// key). The scheduler uses this to keep its incremental Ut index in
+	// sync with φ(i); see internal/core/DESIGN-sched-index.md. A nil fn
+	// clears the hook.
+	OnEvict(fn func(K, V))
 }
 
-type lruEntry[K comparable, V any] struct {
-	k K
-	v V
-}
-
-// LRU is a least-recently-used cache, the paper's policy.
+// LRU is a least-recently-used cache, the paper's policy. Entries live in
+// a slab of slots linked into an intrusive recency list, so steady-state
+// operation at capacity performs no allocations — the scheduler's
+// zero-alloc service loop depends on this.
 type LRU[K comparable, V any] struct {
-	cap   int
-	ll    *list.List // front = most recent
-	items map[K]*list.Element
-	stats Stats
+	cap     int
+	slots   []lruSlot[K, V]
+	index   map[K]int32
+	head    int32 // most recent, -1 when empty
+	tail    int32 // least recent, -1 when empty
+	free    []int32
+	onEvict func(K, V)
+	stats   Stats
+}
+
+type lruSlot[K comparable, V any] struct {
+	k          K
+	v          V
+	prev, next int32 // -1 terminates
 }
 
 // NewLRU returns an LRU cache with the given capacity (minimum 1).
@@ -88,15 +104,50 @@ func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRU[K, V]{cap: capacity, ll: list.New(), items: make(map[K]*list.Element)}
+	return &LRU[K, V]{
+		cap:   capacity,
+		slots: make([]lruSlot[K, V], 0, capacity),
+		index: make(map[K]int32, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+// unlink detaches slot i from the recency list.
+func (c *LRU[K, V]) unlink(i int32) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+}
+
+// pushFront makes slot i the most recent entry.
+func (c *LRU[K, V]) pushFront(i int32) {
+	s := &c.slots[i]
+	s.prev, s.next = -1, c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
 }
 
 // Get implements Cache.
 func (c *LRU[K, V]) Get(k K) (V, bool) {
-	if el, ok := c.items[k]; ok {
+	if i, ok := c.index[k]; ok {
 		c.stats.Hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(lruEntry[K, V]).v, true
+		c.unlink(i)
+		c.pushFront(i)
+		return c.slots[i].v, true
 	}
 	c.stats.Misses++
 	var zero V
@@ -106,36 +157,60 @@ func (c *LRU[K, V]) Get(k K) (V, bool) {
 // Put implements Cache.
 func (c *LRU[K, V]) Put(k K, v V) {
 	c.stats.Puts++
-	if el, ok := c.items[k]; ok {
-		el.Value = lruEntry[K, V]{k, v}
-		c.ll.MoveToFront(el)
+	if i, ok := c.index[k]; ok {
+		c.slots[i].v = v
+		c.unlink(i)
+		c.pushFront(i)
 		return
 	}
-	if c.ll.Len() >= c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(lruEntry[K, V]).k)
+	var (
+		i       int32
+		evicted bool
+		ek      K
+		ev      V
+	)
+	switch {
+	case len(c.index) >= c.cap:
+		// Reuse the least-recent slot in place of its evicted entry.
+		i = c.tail
+		ek, ev, evicted = c.slots[i].k, c.slots[i].v, true
+		c.unlink(i)
+		delete(c.index, ek)
 		c.stats.Evictions++
+	case len(c.free) > 0:
+		i = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	default:
+		c.slots = append(c.slots, lruSlot[K, V]{})
+		i = int32(len(c.slots) - 1)
 	}
-	c.items[k] = c.ll.PushFront(lruEntry[K, V]{k, v})
+	c.slots[i].k, c.slots[i].v = k, v
+	c.index[k] = i
+	c.pushFront(i)
+	if evicted && c.onEvict != nil {
+		c.onEvict(ek, ev)
+	}
 }
 
 // Contains implements Cache.
-func (c *LRU[K, V]) Contains(k K) bool { _, ok := c.items[k]; return ok }
+func (c *LRU[K, V]) Contains(k K) bool { _, ok := c.index[k]; return ok }
 
 // Remove implements Cache.
 func (c *LRU[K, V]) Remove(k K) bool {
-	el, ok := c.items[k]
+	i, ok := c.index[k]
 	if !ok {
 		return false
 	}
-	c.ll.Remove(el)
-	delete(c.items, k)
+	c.unlink(i)
+	delete(c.index, k)
+	var zero lruSlot[K, V]
+	c.slots[i] = zero
+	c.free = append(c.free, i)
 	return true
 }
 
 // Len implements Cache.
-func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+func (c *LRU[K, V]) Len() int { return len(c.index) }
 
 // Cap implements Cache.
 func (c *LRU[K, V]) Cap() int { return c.cap }
@@ -143,12 +218,15 @@ func (c *LRU[K, V]) Cap() int { return c.cap }
 // Stats implements Cache.
 func (c *LRU[K, V]) Stats() Stats { return c.stats }
 
+// OnEvict implements Cache.
+func (c *LRU[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
+
 // Keys returns the cached keys from most to least recently used; useful
 // for tests and debugging.
 func (c *LRU[K, V]) Keys() []K {
-	out := make([]K, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(lruEntry[K, V]).k)
+	out := make([]K, 0, len(c.index))
+	for i := c.head; i >= 0; i = c.slots[i].next {
+		out = append(out, c.slots[i].k)
 	}
 	return out
 }
@@ -157,11 +235,12 @@ func (c *LRU[K, V]) Keys() []K {
 // lookups and a rotating eviction hand. Included for the cache-policy
 // ablation bench.
 type Clock[K comparable, V any] struct {
-	cap   int
-	slots []clockSlot[K, V]
-	index map[K]int
-	hand  int
-	stats Stats
+	cap     int
+	slots   []clockSlot[K, V]
+	index   map[K]int
+	hand    int
+	onEvict func(K, V)
+	stats   Stats
 }
 
 type clockSlot[K comparable, V any] struct {
@@ -212,11 +291,15 @@ func (c *Clock[K, V]) Put(k K, v V) {
 			c.hand = (c.hand + 1) % c.cap
 			continue
 		}
+		ek, ev := s.k, s.v
 		delete(c.index, s.k)
 		c.stats.Evictions++
 		*s = clockSlot[K, V]{k: k, v: v, ref: false, used: true}
 		c.index[k] = c.hand
 		c.hand = (c.hand + 1) % c.cap
+		if c.onEvict != nil {
+			c.onEvict(ek, ev)
+		}
 		return
 	}
 }
@@ -243,6 +326,9 @@ func (c *Clock[K, V]) Cap() int { return c.cap }
 
 // Stats implements Cache.
 func (c *Clock[K, V]) Stats() Stats { return c.stats }
+
+// OnEvict implements Cache.
+func (c *Clock[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
 
 // TwoQueue is a simplified 2Q cache: a FIFO probation queue admits new
 // keys; a second hit promotes to a protected LRU segment. It resists the
@@ -323,6 +409,15 @@ func (c *TwoQueue[K, V]) Cap() int { return c.protected.Cap() + c.probation.Cap(
 
 // Stats implements Cache.
 func (c *TwoQueue[K, V]) Stats() Stats { return c.stats }
+
+// OnEvict implements Cache. A key promoted from probation to protected
+// never leaves the cache as a whole, so the hook is wired to the two
+// inner segments: it fires only when capacity pressure in either segment
+// pushes an entry out of the cache entirely.
+func (c *TwoQueue[K, V]) OnEvict(fn func(K, V)) {
+	c.probation.OnEvict(fn)
+	c.protected.OnEvict(fn)
+}
 
 // PolicyName identifies a cache policy for configuration.
 type PolicyName string

@@ -289,3 +289,84 @@ func TestQuickCapacityInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOnEvictFiresOnPolicyEviction: every policy must report entries
+// pushed out by capacity pressure — the scheduler's incremental Ut index
+// relies on seeing every membership change.
+func TestOnEvictFiresOnPolicyEviction(t *testing.T) {
+	for _, policy := range []PolicyName{PolicyLRU, PolicyClock, PolicyTwoQueue} {
+		c, err := New[int, int](policy, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evicted []int
+		c.OnEvict(func(k, _ int) {
+			evicted = append(evicted, k)
+			if c.Contains(k) {
+				t.Errorf("%s: hook fired while %d still in cache", policy, k)
+			}
+		})
+		for k := 0; k < 10; k++ {
+			c.Put(k, k)
+		}
+		if len(evicted)+c.Len() != 10 {
+			t.Errorf("%s: %d evictions + %d resident != 10 puts",
+				policy, len(evicted), c.Len())
+		}
+		if int64(len(evicted)) != c.Stats().Evictions {
+			t.Errorf("%s: hook fired %d times, stats count %d evictions",
+				policy, len(evicted), c.Stats().Evictions)
+		}
+	}
+}
+
+// TestOnEvictNotFiredByRemove: explicit removal is not a policy eviction.
+func TestOnEvictNotFiredByRemove(t *testing.T) {
+	for _, policy := range []PolicyName{PolicyLRU, PolicyClock, PolicyTwoQueue} {
+		c, _ := New[int, int](policy, 4)
+		fired := 0
+		c.OnEvict(func(int, int) { fired++ })
+		c.Put(1, 1)
+		c.Remove(1)
+		if fired != 0 {
+			t.Errorf("%s: Remove fired the eviction hook", policy)
+		}
+	}
+}
+
+// TestTwoQueuePromotionDoesNotFireHook: moving a key between the
+// probation and protected segments keeps it in the cache as a whole, so
+// the hook must stay silent unless the promotion displaces another key.
+func TestTwoQueuePromotionDoesNotFireHook(t *testing.T) {
+	c := NewTwoQueue[int, int](8) // probation 2, protected 6
+	var evicted []int
+	c.OnEvict(func(k, _ int) { evicted = append(evicted, k) })
+	c.Put(1, 1)
+	c.Get(1) // promote into an empty protected segment
+	if len(evicted) != 0 {
+		t.Errorf("promotion evicted %v from a near-empty cache", evicted)
+	}
+	if !c.Contains(1) {
+		t.Error("promoted key lost")
+	}
+}
+
+// TestLRUSteadyStateAllocFree: at capacity, Put/Get/Contains reuse slots
+// and allocate nothing — the scheduler's zero-alloc service loop calls
+// Put on every cache-miss bucket service.
+func TestLRUSteadyStateAllocFree(t *testing.T) {
+	c := NewLRU[int, int](8)
+	for k := 0; k < 64; k++ { // warm up past capacity
+		c.Put(k, k)
+	}
+	k := 64
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Put(k, k)
+		c.Get(k - 3)
+		c.Contains(k - 5)
+		k++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state LRU ops allocate %.1f/op, want 0", allocs)
+	}
+}

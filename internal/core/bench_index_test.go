@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"liferaft/internal/xmatch"
+)
+
+// Benchmarks for the incremental scheduler index, at B ∈ {1k, 10k, 100k}
+// active buckets: BenchmarkPick compares the indexed threshold-algorithm
+// pick against the exhaustive-scan baseline (both in-tree), and
+// BenchmarkStep measures the full service loop with -benchmem asserting
+// the zero-alloc steady state. cmd/skybench -bench-json replays the same
+// probes into BENCH_3.json for the cross-PR perf trajectory.
+
+var benchBs = []int{1_000, 10_000, 100_000}
+
+// populateQueues fills B bucket queues with varied lengths and ages so
+// picks exercise realistic key diversity (uniform queues would tie).
+func populateQueues(s *scheduler, bkts int) {
+	base := s.cfg.Clock.Now()
+	qs := &queryState{result: Result{QueryID: 1, Arrived: base}, arrived: base}
+	// Sentinel work unit: the benchmark query must survive every service
+	// even if one bucket briefly holds all remaining work.
+	qs.remaining = 1
+	s.queries[1] = qs
+	for bi := 0; bi < bkts; bi++ {
+		n := 1 + bi%7
+		at := base.Add(time.Duration(bi%977) * time.Millisecond)
+		for k := 0; k < n; k++ {
+			s.pushItem(bi, item{
+				wo:        xmatch.WorkloadObject{QueryID: 1},
+				arrived:   at,
+				ageWeight: 1,
+			})
+			qs.buckets = append(qs.buckets, bi)
+			qs.remaining++
+		}
+	}
+}
+
+func BenchmarkPick(b *testing.B) {
+	for _, bkts := range benchBs {
+		s := syntheticScheduler(b, bkts, PolicyLifeRaft, 0.5)
+		populateQueues(s, bkts)
+		now := s.cfg.Clock.Now().Add(time.Hour)
+		b.Run(fmt.Sprintf("indexed/B=%d", bkts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.pickLifeRaftIndexed(now); !ok {
+					b.Fatal("no pick")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/B=%d", bkts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.pickLifeRaftScan(now); !ok {
+					b.Fatal("no pick")
+				}
+			}
+		})
+	}
+}
+
+// stepSteadyState services one bucket and refills it, keeping the number
+// of active queues constant — the scheduler's steady-state regime.
+func stepSteadyState(tb testing.TB, s *scheduler) {
+	now := s.cfg.Clock.Now()
+	bi, ok := s.pick(now)
+	if !ok {
+		tb.Fatal("no pending work")
+	}
+	n := len(s.queues[bi].items)
+	s.serviceBucket(bi, now)
+	qs := s.queries[1]
+	for k := 0; k < n; k++ {
+		s.pushItem(bi, item{
+			wo:        xmatch.WorkloadObject{QueryID: 1},
+			arrived:   now,
+			ageWeight: 1,
+		})
+		qs.remaining++
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	for _, bkts := range benchBs {
+		b.Run(fmt.Sprintf("B=%d", bkts), func(b *testing.B) {
+			s := syntheticScheduler(b, bkts, PolicyLifeRaft, 0.5)
+			populateQueues(s, bkts)
+			for i := 0; i < 64; i++ { // warm scratch and pools
+				stepSteadyState(b, s)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stepSteadyState(b, s)
+			}
+		})
+	}
+}
+
+// TestStepServiceLoopZeroAlloc asserts the -benchmem claim directly: a
+// steady-state service iteration (pick, join-evaluate, retire, refill)
+// allocates nothing once scratch and pools are warm.
+func TestStepServiceLoopZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := syntheticScheduler(t, 10_000, PolicyLifeRaft, 0.5)
+	populateQueues(s, 10_000)
+	for i := 0; i < 256; i++ {
+		stepSteadyState(t, s)
+	}
+	allocs := testing.AllocsPerRun(400, func() { stepSteadyState(t, s) })
+	if allocs != 0 {
+		t.Errorf("steady-state step allocates %.2f/op, want 0", allocs)
+	}
+}

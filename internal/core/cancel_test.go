@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"liferaft/internal/simclock"
+	"liferaft/internal/xmatch"
 )
 
 // bigJob returns a fixture job spanning at least minAssignments bucket
@@ -210,5 +211,91 @@ func TestLiveCancelSharded(t *testing.T) {
 	}
 	if err := l.Cancel(1); err != ErrClosed {
 		t.Errorf("Cancel after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCancelTouchesOnlyOwningQueues: cancelling a query must examine only
+// the queues on its admission-time membership list, not sweep every
+// queue. A 1-object query cancelled among thousands of unrelated queues
+// must leave the scheduler's cancel-visit counter at the query's own
+// bucket count.
+func TestCancelTouchesOnlyOwningQueues(t *testing.T) {
+	s := syntheticScheduler(t, 10_000, PolicyLifeRaft, 0.5)
+	now := simclock.Epoch
+	// 4,000 unrelated queues from a backdrop query.
+	backdrop := &queryState{result: Result{QueryID: 1, Arrived: now}, arrived: now}
+	for bi := 0; bi < 4000; bi++ {
+		s.pushItem(bi, item{wo: xmatch.WorkloadObject{QueryID: 1}, arrived: now, ageWeight: 1})
+		backdrop.buckets = append(backdrop.buckets, bi)
+		backdrop.remaining++
+	}
+	s.queries[1] = backdrop
+	// The victim: a tiny query owning 3 buckets, two shared with the
+	// backdrop's range and one far away.
+	victim := &queryState{result: Result{QueryID: 2, Arrived: now}, arrived: now}
+	for _, bi := range []int{10, 2000, 9000} {
+		s.pushItem(bi, item{wo: xmatch.WorkloadObject{QueryID: 2}, arrived: now, ageWeight: 1})
+		victim.buckets = append(victim.buckets, bi)
+		victim.remaining++
+	}
+	s.queries[2] = victim
+
+	s.cancelVisited = 0
+	r := s.cancel(2, now.Add(time.Second))
+	if r == nil || !r.Cancelled {
+		t.Fatalf("cancel result = %+v", r)
+	}
+	if s.cancelVisited != 3 {
+		t.Errorf("cancel examined %d queues, want exactly the 3 owning ones", s.cancelVisited)
+	}
+	if s.stats.CancelledObjects != 3 {
+		t.Errorf("cancelled objects = %d, want 3", s.stats.CancelledObjects)
+	}
+	// Unrelated queues must be untouched; shared buckets keep the
+	// backdrop's item.
+	for _, bi := range []int{10, 2000} {
+		q := s.queues[bi]
+		if q == nil || len(q.items) != 1 || q.items[0].wo.QueryID != 1 {
+			t.Errorf("bucket %d: backdrop item disturbed: %+v", bi, q)
+		}
+	}
+	if s.queues[9000] != nil {
+		t.Error("bucket 9000 should be gone (victim was its only tenant)")
+	}
+	if s.pendingItems != 4000 {
+		t.Errorf("pendingItems = %d, want 4000", s.pendingItems)
+	}
+}
+
+// TestCancelVisitsScaleWithQueryNotQueues: driven through the public
+// admit path — cancel cost is bounded by the query's own assignments
+// even when the scheduler holds far more work from other queries.
+func TestCancelVisitsScaleWithQueryNotQueues(t *testing.T) {
+	part, jobs := fixture(t)
+	cfg, _ := NewVirtual(part, 0.5, false)
+	s, err := newScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := cfg.Clock.Now()
+	// Load every fixture job but the last; cancel only the last.
+	for _, j := range jobs[:len(jobs)-1] {
+		s.admit(j, now)
+	}
+	last := jobs[len(jobs)-1]
+	if r := s.admit(last, now); r != nil {
+		t.Skip("last fixture job has no work; pick another")
+	}
+	assignments := s.queries[last.ID].result.Assignments
+	s.cancelVisited = 0
+	if r := s.cancel(last.ID, now.Add(time.Second)); r == nil {
+		t.Fatal("cancel returned nil")
+	}
+	if s.cancelVisited > assignments {
+		t.Errorf("cancel visited %d queues for a query with %d assignments",
+			s.cancelVisited, assignments)
+	}
+	if len(s.queues) == 0 {
+		t.Error("unrelated work vanished")
 	}
 }

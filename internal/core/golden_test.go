@@ -1,0 +1,255 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/cache"
+	"liferaft/internal/catalog"
+	"liferaft/internal/geom"
+	"liferaft/internal/simclock"
+	"liferaft/internal/workload"
+)
+
+// Golden-equivalence property test: a full workload trace replayed
+// through the reference scheduler (the seed's exhaustive O(B) scans,
+// dropIndex mode) and through the incremental index must produce an
+// identical bucket-service sequence, identical per-step completions, and
+// identical RunStats — for every policy, with QoS weights, a spill cap,
+// and mid-trace cancels. This is the contract that lets the indexed
+// scheduler replace the scans without re-validating a single ablation
+// figure.
+
+var (
+	goldenOnce    sync.Once
+	goldenPart    *bucket.Partition
+	goldenHotJobs []Job
+	goldenUniJobs []Job
+)
+
+func goldenFixture(t *testing.T) (*bucket.Partition, []Job, []Job) {
+	t.Helper()
+	goldenOnce.Do(func() {
+		local, err := catalog.New(catalog.Config{
+			Name: "gold-sdss", N: 30000, Seed: 11, GenLevel: 4, CacheTrixels: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := catalog.NewDerived(local, catalog.DerivedConfig{
+			Name: "gold-2mass", Seed: 12, Fraction: 0.8,
+			JitterRad: geom.ArcsecToRad(1.5), CacheTrixels: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenPart, err = bucket.NewPartition(local, 150, 0) // 200 buckets
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkJobs := func(cfg workload.TraceConfig) []Job {
+			tr, err := workload.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs := make([]Job, 0, len(tr.Queries))
+			for _, q := range tr.Queries {
+				jobs = append(jobs, Job{
+					ID:      q.ID,
+					Objects: workload.Materialize(q, remote, cfg.Seed),
+					Pred:    q.Predicate(),
+				})
+			}
+			return jobs
+		}
+		hot := workload.DefaultTraceConfig(13)
+		hot.NumQueries = 70
+		hot.MinSelectivity, hot.MaxSelectivity = 0.2, 1.0
+		goldenHotJobs = mkJobs(hot)
+
+		uni := hot
+		uni.Seed = 14
+		uni.HotFraction = 0 // no hotspots: uniform sky coverage
+		goldenUniJobs = mkJobs(uni)
+	})
+	return goldenPart, goldenHotJobs, goldenUniJobs
+}
+
+type goldenCase struct {
+	name        string
+	policy      PolicyKind
+	alpha       float64
+	gamma       float64
+	memCap      int
+	cachePolicy cache.PolicyName
+	uniform     bool
+	arrivalMS   int  // uniform inter-arrival in milliseconds
+	cancels     bool // withdraw every 5th query mid-trace
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	part, hotJobs, uniJobs := goldenFixture(t)
+	cases := []goldenCase{
+		{name: "liferaft-hot", policy: PolicyLifeRaft, alpha: 0.5, arrivalMS: 100},
+		{name: "liferaft-uniform-cancels", policy: PolicyLifeRaft, alpha: 0.5,
+			uniform: true, arrivalMS: 100, cancels: true},
+		{name: "liferaft-greedy-uniform", policy: PolicyLifeRaft, alpha: 0,
+			uniform: true, arrivalMS: 250},
+		{name: "liferaft-fifo-hot", policy: PolicyLifeRaft, alpha: 1, arrivalMS: 100},
+		{name: "liferaft-qos", policy: PolicyLifeRaft, alpha: 0.5, gamma: 2,
+			arrivalMS: 100, cancels: true},
+		{name: "liferaft-spill-2q", policy: PolicyLifeRaft, alpha: 0.5,
+			memCap: 200, cachePolicy: cache.PolicyTwoQueue, arrivalMS: 5, cancels: true},
+		{name: "rr-uniform-clock-cancels", policy: PolicyRoundRobin,
+			cachePolicy: cache.PolicyClock, uniform: true, arrivalMS: 100, cancels: true},
+		{name: "lsf-hot-cancels", policy: PolicyLeastShared, arrivalMS: 100, cancels: true},
+	}
+	for _, gc := range cases {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			jobs := hotJobs
+			if gc.uniform {
+				jobs = uniJobs
+			}
+			replayDual(t, part, gc, jobs)
+		})
+	}
+}
+
+// replayDual drives a reference (scan) and an indexed scheduler through
+// the identical event sequence on forked virtual universes and fails on
+// the first divergence in picks, completions, clocks, or final stats.
+func replayDual(t *testing.T, part *bucket.Partition, gc goldenCase, jobs []Job) {
+	t.Helper()
+	mk := func() (Config, *scheduler) {
+		cfg, _ := NewVirtual(part, gc.alpha, false)
+		cfg.Policy = gc.policy
+		cfg.AgeDepreciationGamma = gc.gamma
+		cfg.WorkloadMemoryCap = gc.memCap
+		if gc.cachePolicy != "" {
+			cfg.CachePolicy = gc.cachePolicy
+		}
+		s, err := newScheduler(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg, s
+	}
+	cfgA, ref := mk()
+	ref.dropIndex() // reference: the seed's exhaustive scans
+	cfgB, ixd := mk()
+	if ixd.idx == nil {
+		t.Fatal("indexed scheduler has no index")
+	}
+
+	// Cancels: every 5th query is withdrawn two services after it is
+	// admitted, while its workload is still queued.
+	cancelTargets := make(map[uint64]bool)
+	if gc.cancels {
+		for i, j := range jobs {
+			if i%5 == 2 {
+				cancelTargets[j.ID] = true
+			}
+		}
+	}
+	type cancelAt struct {
+		step int
+		qid  uint64
+	}
+	var cancels []cancelAt
+
+	start := cfgA.Clock.Now()
+	var events simclock.EventQueue[Job]
+	for i, j := range jobs {
+		events.Push(start.Add(time.Duration(i*gc.arrivalMS)*time.Millisecond), j)
+	}
+
+	var picks []int
+	completedA, completedB := 0, 0
+	steps, nextCancel := 0, 0
+	for {
+		nowA, nowB := cfgA.Clock.Now(), cfgB.Clock.Now()
+		if !nowA.Equal(nowB) {
+			t.Fatalf("step %d: clocks diverged: ref %v vs indexed %v", steps, nowA, nowB)
+		}
+		for _, ev := range events.PopUntil(nowA) {
+			rA := ref.admit(ev.Value, ev.At)
+			rB := ixd.admit(ev.Value, ev.At)
+			if !reflect.DeepEqual(rA, rB) {
+				t.Fatalf("step %d: admit(%d) results diverged: %+v vs %+v",
+					steps, ev.Value.ID, rA, rB)
+			}
+			if cancelTargets[ev.Value.ID] {
+				cancels = append(cancels, cancelAt{step: steps + 2, qid: ev.Value.ID})
+			}
+		}
+		for nextCancel < len(cancels) && cancels[nextCancel].step <= steps {
+			qid := cancels[nextCancel].qid
+			nextCancel++
+			rA := ref.cancel(qid, nowA)
+			rB := ixd.cancel(qid, nowB)
+			if !reflect.DeepEqual(rA, rB) {
+				t.Fatalf("step %d: cancel(%d) diverged: %+v vs %+v", steps, qid, rA, rB)
+			}
+		}
+		if ref.pendingWork() != ixd.pendingWork() {
+			t.Fatalf("step %d: pendingWork diverged: ref %v vs indexed %v",
+				steps, ref.pendingWork(), ixd.pendingWork())
+		}
+		if !ref.pendingWork() {
+			at, ok := events.PeekTime()
+			if !ok {
+				break // both drained
+			}
+			cfgA.Clock.Sleep(at.Sub(nowA))
+			cfgB.Clock.Sleep(at.Sub(nowB))
+			continue
+		}
+		pA, okA := ref.pick(nowA)
+		pB, okB := ixd.pick(nowB)
+		if pA != pB || okA != okB {
+			t.Fatalf("step %d: pick diverged: ref (%d,%v) vs indexed (%d,%v)",
+				steps, pA, okA, pB, okB)
+		}
+		picks = append(picks, pA)
+		doneA := append([]Result(nil), ref.serviceBucket(pA, nowA)...)
+		doneB := append([]Result(nil), ixd.serviceBucket(pB, nowB)...)
+		// Completion order within one service batch follows map
+		// iteration in both schedulers; compare as sets.
+		sortResults(doneA)
+		sortResults(doneB)
+		if !reflect.DeepEqual(doneA, doneB) {
+			t.Fatalf("step %d (bucket %d): completions diverged:\nref: %+v\nidx: %+v",
+				steps, pA, doneA, doneB)
+		}
+		completedA += len(doneA)
+		completedB += len(doneB)
+		steps++
+	}
+	if len(picks) == 0 {
+		t.Fatal("trace produced no bucket services; fixture too small")
+	}
+	if gc.memCap > 0 && ref.stats.SpilledObjects == 0 {
+		t.Error("spill cap set but the trace never spilled; tighten the cap")
+	}
+	if gc.cancels && ref.stats.Cancelled == 0 {
+		t.Error("cancels scheduled but none landed in-flight; adjust the schedule")
+	}
+	stA := ref.finalize(cfgA.Clock.Now().Sub(start), completedA)
+	stB := ixd.finalize(cfgB.Clock.Now().Sub(start), completedB)
+	if !reflect.DeepEqual(stA, stB) {
+		t.Fatalf("RunStats diverged after %d services:\nref: %+v\nidx: %+v", steps, stA, stB)
+	}
+	if ref.memObjects != ixd.memObjects || ref.pendingItems != ixd.pendingItems {
+		t.Fatalf("internal counters diverged: mem %d/%d pending %d/%d",
+			ref.memObjects, ixd.memObjects, ref.pendingItems, ixd.pendingItems)
+	}
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].QueryID < rs[j].QueryID })
+}

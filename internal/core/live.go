@@ -414,6 +414,8 @@ func (l *Live) loop(cfg Config, s *scheduler) {
 			}
 			continue
 		}
+		// step's slice aliases scheduler scratch (valid until the next
+		// step); deliver sends the Results by value before then.
 		done, _ := s.step(cfg.Clock.Now())
 		deliver(done)
 		if !closing {

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/catalog"
+	"liferaft/internal/xmatch"
+)
+
+// PerfReport is one scheduler hot-path measurement at a given number of
+// active buckets, produced by PerfProbe. cmd/skybench -bench-json writes
+// a series of these into BENCH_<pr>.json so successive PRs accumulate a
+// perf trajectory; the same quantities are covered by the in-tree
+// BenchmarkPick/BenchmarkStep for benchstat-style comparison.
+type PerfReport struct {
+	// Buckets is the number of active (non-empty) bucket queues probed.
+	Buckets int `json:"buckets"`
+	// PickNsIndexed and PickNsScan are the mean wall-clock cost of one
+	// LifeRaft pick via the incremental index and via the exhaustive
+	// scan baseline. PickSpeedup is their ratio.
+	PickNsIndexed float64 `json:"pick_ns_indexed"`
+	PickNsScan    float64 `json:"pick_ns_scan"`
+	PickSpeedup   float64 `json:"pick_speedup"`
+	// PicksPerSec is 1e9 / PickNsIndexed.
+	PicksPerSec float64 `json:"picks_per_sec"`
+	// StepNsPerOp and StepAllocsPerOp measure one steady-state service
+	// iteration (pick, join-evaluate, retire, refill). The allocation
+	// count must be 0.
+	StepNsPerOp     float64 `json:"step_ns_per_op"`
+	StepAllocsPerOp float64 `json:"step_allocs_per_op"`
+}
+
+// PerfProbe measures the scheduler hot path on a synthetic workload with
+// the given number of active bucket queues (one-object buckets, varied
+// queue lengths and ages). It exists so the skybench binary can record
+// the same quantities the in-tree benchmarks measure without importing
+// the testing package.
+func PerfProbe(buckets int) (PerfReport, error) {
+	if buckets < 1 {
+		return PerfReport{}, fmt.Errorf("core: PerfProbe buckets %d < 1", buckets)
+	}
+	cat, err := catalog.New(catalog.Config{
+		Name: "perfprobe", N: buckets, Seed: 9, GenLevel: 4, CacheTrixels: true,
+	})
+	if err != nil {
+		return PerfReport{}, err
+	}
+	part, err := bucket.NewPartition(cat, 1, 0)
+	if err != nil {
+		return PerfReport{}, err
+	}
+	mk := func() (*scheduler, error) {
+		cfg, _ := NewVirtual(part, 0.5, false)
+		s, err := newScheduler(cfg)
+		if err != nil {
+			return nil, err
+		}
+		base := s.cfg.Clock.Now()
+		qs := &queryState{result: Result{QueryID: 1, Arrived: base}, arrived: base}
+		// Sentinel work unit: remaining never reaches zero, so the probe
+		// query survives every service (at small B one service could
+		// otherwise retire it and the refill would touch a freed query).
+		qs.remaining = 1
+		s.queries[1] = qs
+		for bi := 0; bi < buckets; bi++ {
+			at := base.Add(time.Duration(bi%977) * time.Millisecond)
+			for k := 0; k < 1+bi%7; k++ {
+				s.pushItem(bi, item{
+					wo:        xmatch.WorkloadObject{QueryID: 1},
+					arrived:   at,
+					ageWeight: 1,
+				})
+				qs.buckets = append(qs.buckets, bi)
+				qs.remaining++
+			}
+		}
+		return s, nil
+	}
+	s, err := mk()
+	if err != nil {
+		return PerfReport{}, err
+	}
+	rep := PerfReport{Buckets: buckets}
+	now := s.cfg.Clock.Now().Add(time.Hour)
+
+	// Indexed pick: enough iterations for a stable mean.
+	const indexedIters = 20_000
+	t0 := time.Now()
+	for i := 0; i < indexedIters; i++ {
+		if _, ok := s.pickLifeRaftIndexed(now); !ok {
+			return rep, fmt.Errorf("core: probe scheduler has no work")
+		}
+	}
+	rep.PickNsIndexed = float64(time.Since(t0).Nanoseconds()) / indexedIters
+	rep.PicksPerSec = 1e9 / rep.PickNsIndexed
+
+	// Scan baseline: O(B) per pick, so bound total time instead.
+	scanIters := 0
+	t0 = time.Now()
+	for time.Since(t0) < 300*time.Millisecond {
+		if _, ok := s.pickLifeRaftScan(now); !ok {
+			return rep, fmt.Errorf("core: probe scheduler has no work")
+		}
+		scanIters++
+	}
+	rep.PickNsScan = float64(time.Since(t0).Nanoseconds()) / float64(scanIters)
+	rep.PickSpeedup = rep.PickNsScan / rep.PickNsIndexed
+
+	// Steady-state service loop: service one bucket, refill it. Measure
+	// time and allocations (mallocs delta across a stopped world).
+	step := func() error {
+		now := s.cfg.Clock.Now()
+		bi, ok := s.pick(now)
+		if !ok {
+			return fmt.Errorf("core: probe ran out of work")
+		}
+		n := len(s.queues[bi].items)
+		s.serviceBucket(bi, now)
+		qs := s.queries[1]
+		for k := 0; k < n; k++ {
+			s.pushItem(bi, item{
+				wo:        xmatch.WorkloadObject{QueryID: 1},
+				arrived:   now,
+				ageWeight: 1,
+			})
+			qs.remaining++
+		}
+		return nil
+	}
+	// Steady-state servicing drifts toward the anti-correlated regime
+	// where picks fall back to the O(B) scan, so bound the iteration
+	// count by B to keep the probe's wall clock flat across scales.
+	stepIters := 4_096
+	switch {
+	case buckets >= 100_000:
+		stepIters = 128
+	case buckets >= 10_000:
+		stepIters = 1_024
+	}
+	for i := 0; i < stepIters/4+64; i++ { // warm pools and scratch
+		if err := step(); err != nil {
+			return rep, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 = time.Now()
+	for i := 0; i < stepIters; i++ {
+		if err := step(); err != nil {
+			return rep, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	rep.StepNsPerOp = float64(elapsed.Nanoseconds()) / float64(stepIters)
+	rep.StepAllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(stepIters)
+	return rep, nil
+}

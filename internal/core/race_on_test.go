@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-count assertions: the race runtime
+// instruments allocations, so exact allocs/op checks only hold without it.
+const raceEnabled = true

@@ -62,6 +62,8 @@ func runEngine(cfg Config, jobs []Job, offsets []time.Duration) ([]Result, RunSt
 			cfg.Clock.Sleep(at.Sub(now))
 			continue
 		}
+		// step's slice aliases scheduler scratch (valid until the next
+		// step); the append copies the Results out before then.
 		done, _ := s.step(now)
 		results = append(results, done...)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"liferaft/internal/cache"
@@ -34,11 +35,26 @@ type bqueue struct {
 	// bounded by the number of distinct QoS weights, making the
 	// scheduler's age computation O(frontier) instead of O(items).
 	ageFrontier []agePoint
+
+	// Incremental-index state (sched_index.go): the cached Ut(i) — kept
+	// exact by refreshing on every event that can change it — plus this
+	// queue's position in each maintained heap and the last pick epoch
+	// that scored it.
+	ut   float64
+	pos  [numHeaps]int32
+	seen uint64
 }
 
 type agePoint struct {
 	arrived time.Time
 	weight  float64
+}
+
+// scored is one pick candidate in the exhaustive-scan path; the backing
+// slice is scheduler scratch so fallback picks stay allocation-free.
+type scored struct {
+	idx     int
+	ut, age float64
 }
 
 // push appends an item and maintains the age frontier.
@@ -51,12 +67,31 @@ func (q *bqueue) push(it item) {
 	q.ageFrontier = append(q.ageFrontier, agePoint{arrived: it.arrived, weight: it.ageWeight})
 }
 
+// rebuildFrontier recomputes the dominance frontier from the surviving
+// items after a cancel removed some; items are still in arrival order, so
+// the same dominance rule as push applies. The frontier slice is reused.
+func rebuildFrontier(q *bqueue) {
+	q.ageFrontier = q.ageFrontier[:0]
+	for _, it := range q.items {
+		n := len(q.ageFrontier)
+		if n > 0 && q.ageFrontier[n-1].weight >= it.ageWeight {
+			continue
+		}
+		q.ageFrontier = append(q.ageFrontier, agePoint{arrived: it.arrived, weight: it.ageWeight})
+	}
+}
+
 // queryState tracks one in-flight query.
 type queryState struct {
 	job       Job
 	arrived   time.Time
 	remaining int
 	result    Result
+	// buckets records every bucket index this query fanned work out to
+	// (the admission-time membership list), so cancel touches only the
+	// owning queues instead of sweeping all of them. May contain
+	// duplicates; cancel sorts and skips them.
+	buckets []int
 }
 
 // scheduler is the workload manager plus join evaluator of Figure 3. It is
@@ -69,9 +104,37 @@ type scheduler struct {
 	queries map[uint64]*queryState
 	preds   map[uint64]xmatch.Predicate
 
+	// idx is the incremental scheduler index (sched_index.go). nil runs
+	// the reference implementation — the seed's exhaustive scans — which
+	// the golden-equivalence test and the old-vs-new benchmarks compare
+	// against; dropIndex switches a fresh scheduler into that mode.
+	idx *schedIndex
+	// pendingItems counts queued workload objects across all queues
+	// (including spilled ones), making pendingWork O(1).
+	pendingItems int
+
 	rrNext     int
 	memObjects int
 	stats      RunStats
+
+	// cancelVisited counts the bucket queues examined by cancel — a test
+	// hook proving cancels touch only the cancelled query's queues.
+	cancelVisited int
+	// pickFallbacks counts indexed picks that exceeded the threshold
+	// walk's pop budget and fell back to the exhaustive scan.
+	pickFallbacks int
+
+	// Scratch reused across service-loop iterations so a steady-state
+	// step performs no allocations. The slice step returns aliases
+	// completedBuf and is valid only until the next step; both engine
+	// loops consume it immediately.
+	wosBuf       []xmatch.WorkloadObject
+	byQueryBuf   map[uint64][]xmatch.Pair
+	seenBuf      map[uint64]int
+	completedBuf []Result
+	bisBuf       []int
+	scoredBuf    []scored
+	qPool        []*bqueue
 
 	// tbSec and tmSec are the empirical constants of Eq. 1 derived from
 	// the disk model at construction.
@@ -93,15 +156,126 @@ func newScheduler(cfg Config) (*scheduler, error) {
 		return nil, fmt.Errorf("core: partition has no buckets")
 	}
 	tb, tm := cfg.Disk.Model().Calibrate(part.BucketBytes(0))
-	return &scheduler{
-		cfg:     cfg,
-		cache:   c,
-		queues:  make(map[int]*bqueue),
-		queries: make(map[uint64]*queryState),
-		preds:   make(map[uint64]xmatch.Predicate),
-		tbSec:   tb.Seconds(),
-		tmSec:   tm.Seconds(),
-	}, nil
+	s := &scheduler{
+		cfg:        cfg,
+		cache:      c,
+		queues:     make(map[int]*bqueue),
+		queries:    make(map[uint64]*queryState),
+		preds:      make(map[uint64]xmatch.Predicate),
+		idx:        newSchedIndex(cfg, part.NumBuckets()),
+		byQueryBuf: make(map[uint64][]xmatch.Pair),
+		seenBuf:    make(map[uint64]int),
+		tbSec:      tb.Seconds(),
+		tmSec:      tm.Seconds(),
+	}
+	// Policy evictions flip φ(i) for the evicted bucket; the hook keeps
+	// that bucket's cached Ut in sync (admissions are the scheduler's
+	// own cachePut calls).
+	s.cache.OnEvict(func(k int, _ bucketObjects) { s.noteCacheChange(k) })
+	return s, nil
+}
+
+// dropIndex switches a freshly built scheduler to the reference
+// implementation: exhaustive scans for every pick, spill-victim and
+// pending-work decision. Must be called before the first admit. The
+// golden-equivalence test drives a dropped scheduler next to an indexed
+// one to prove their decision sequences bit-identical.
+func (s *scheduler) dropIndex() { s.idx = nil }
+
+// newQueue takes a recycled bqueue from the pool (or allocates one) and
+// resets it for bucket bi.
+func (s *scheduler) newQueue(bi int) *bqueue {
+	var q *bqueue
+	if n := len(s.qPool); n > 0 {
+		q = s.qPool[n-1]
+		s.qPool = s.qPool[:n-1]
+	} else {
+		q = &bqueue{}
+	}
+	q.idx = bi
+	q.spilled = false
+	q.ut = 0
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// releaseQueue returns an emptied, detached queue (and its item and
+// frontier capacity) to the pool.
+func (s *scheduler) releaseQueue(q *bqueue) {
+	q.items = q.items[:0]
+	q.ageFrontier = q.ageFrontier[:0]
+	s.qPool = append(s.qPool, q)
+}
+
+// pushItem enqueues one work unit on bucket bi, creating the queue if
+// needed, and keeps every maintained index ordering in sync.
+func (s *scheduler) pushItem(bi int, it item) {
+	q := s.queues[bi]
+	isNew := q == nil
+	if isNew {
+		q = s.newQueue(bi)
+		s.queues[bi] = q
+	}
+	q.push(it)
+	s.pendingItems++
+	if !q.spilled {
+		s.memObjects++
+	}
+	if s.idx == nil {
+		return
+	}
+	if isNew {
+		if s.idx.needsUt() {
+			q.ut = s.workloadThroughput(q)
+		}
+		s.idx.insert(q)
+		return
+	}
+	if s.idx.needsUt() {
+		s.refreshUt(q)
+	}
+	s.idx.lenChanged(q)
+	// The age ordering keys on the frontier head, which an append-only
+	// push never displaces — no age fix needed.
+}
+
+// detachQueue removes a queue from the map and every index ordering; the
+// caller settles pendingItems/memObjects and recycles the queue.
+func (s *scheduler) detachQueue(q *bqueue) {
+	delete(s.queues, q.idx)
+	if s.idx != nil {
+		s.idx.remove(q)
+	}
+}
+
+// refreshUt recomputes the cached Ut(i) and re-heaps the orderings keyed
+// on it. The cached value is always the output of workloadThroughput, so
+// indexed picks see bit-identical floats to a fresh exhaustive scan.
+func (s *scheduler) refreshUt(q *bqueue) {
+	q.ut = s.workloadThroughput(q)
+	s.idx.utChanged(q)
+}
+
+// noteCacheChange records a bucket-cache membership change for bucket k:
+// φ(k) flipped, so the bucket's queue (if any) gets a fresh Ut. Wired to
+// the cache's eviction hook; cachePut calls it for admissions.
+func (s *scheduler) noteCacheChange(k int) {
+	if s.idx == nil || !s.idx.needsUt() {
+		return
+	}
+	if q := s.queues[k]; q != nil {
+		s.refreshUt(q)
+	}
+}
+
+// cachePut inserts into the bucket cache and keeps the Ut index in sync:
+// evictions arrive via the OnEvict hook, the admission via the explicit
+// noteCacheChange. All scheduler cache inserts must go through here.
+func (s *scheduler) cachePut(k int, v bucketObjects) {
+	s.cache.Put(k, v)
+	s.noteCacheChange(k)
 }
 
 // admit pre-processes a job: every workload object is assigned to the
@@ -116,23 +290,18 @@ func (s *scheduler) admit(job Job, arrived time.Time) (done *Result) {
 		job:     job,
 		arrived: arrived,
 		result:  Result{QueryID: job.ID, Arrived: arrived},
+		buckets: make([]int, 0, len(job.Objects)),
 	}
 	part := s.cfg.Store.Partition()
 	weight := s.ageWeight(len(job.Objects))
 	for _, wo := range job.Objects {
-		for _, bi := range part.BucketsForRanges(wo.Ranges()) {
+		s.bisBuf = part.AppendBucketsForRanges(s.bisBuf[:0], wo.Ranges())
+		for _, bi := range s.bisBuf {
 			if s.cfg.ownsBucket != nil && !s.cfg.ownsBucket(bi) {
 				continue // another shard's bucket
 			}
-			q := s.queues[bi]
-			if q == nil {
-				q = &bqueue{idx: bi}
-				s.queues[bi] = q
-			}
-			q.push(item{wo: wo, arrived: arrived, ageWeight: weight})
-			if !q.spilled {
-				s.memObjects++
-			}
+			s.pushItem(bi, item{wo: wo, arrived: arrived, ageWeight: weight})
+			qs.buckets = append(qs.buckets, bi)
 			qs.remaining++
 			qs.result.Assignments++
 		}
@@ -166,24 +335,47 @@ func (s *scheduler) maybeSpill() {
 		return
 	}
 	for s.memObjects > cap {
-		var victim *bqueue
-		worst := math.Inf(1)
-		for _, q := range s.queues {
-			if q.spilled || len(q.items) == 0 {
-				continue
-			}
-			if ut := s.workloadThroughput(q); ut < worst {
-				worst, victim = ut, q
-			}
-		}
+		victim := s.spillVictim()
 		if victim == nil {
 			return // everything already spilled
 		}
 		victim.spilled = true
+		if s.idx != nil && s.idx.spill != nil {
+			s.idx.spill.remove(victim)
+		}
 		s.memObjects -= len(victim.items)
 		s.stats.SpilledObjects += int64(len(victim.items))
 		s.cfg.Disk.ReadSequential(int64(len(victim.items)) * spillObjectBytes) // write cost ≈ read cost
 	}
+}
+
+// spillVictim selects the non-spilled queue with the lowest Ut(i) — the
+// head of the spill ordering, or an exhaustive scan in reference mode.
+// Ties break toward the lower bucket index in both paths.
+func (s *scheduler) spillVictim() *bqueue {
+	if s.idx != nil && s.idx.spill != nil {
+		if s.idx.spill.len() == 0 {
+			return nil
+		}
+		return s.idx.spill.head()
+	}
+	return s.spillVictimScan()
+}
+
+// spillVictimScan is the reference O(B) victim selection.
+func (s *scheduler) spillVictimScan() *bqueue {
+	var victim *bqueue
+	worst := math.Inf(1)
+	for _, q := range s.queues {
+		if q.spilled || len(q.items) == 0 {
+			continue
+		}
+		ut := s.workloadThroughput(q)
+		if ut < worst || (ut == worst && (victim == nil || q.idx < victim.idx)) {
+			worst, victim = ut, q
+		}
+	}
+	return victim
 }
 
 // cancel withdraws an in-flight query: every workload object it still has
@@ -191,12 +383,27 @@ func (s *scheduler) maybeSpill() {
 // queries), its state is dropped, and a Result with Cancelled set is
 // returned carrying whatever partial work completed before the cancel.
 // Cancelling an unknown (or already completed) query returns nil.
+//
+// Only the queues on the query's admission-time membership list are
+// touched, so cancelling a small query costs O(its own assignments), not
+// O(all queued work).
 func (s *scheduler) cancel(qid uint64, now time.Time) *Result {
 	qs := s.queries[qid]
 	if qs == nil {
 		return nil
 	}
-	for idx, q := range s.queues {
+	sort.Ints(qs.buckets)
+	prev := -1
+	for _, bi := range qs.buckets {
+		if bi == prev {
+			continue // duplicate membership entry
+		}
+		prev = bi
+		q := s.queues[bi]
+		if q == nil {
+			continue // queue serviced (or emptied) since admission
+		}
+		s.cancelVisited++
 		kept := q.items[:0]
 		removed := 0
 		for _, it := range q.items {
@@ -210,21 +417,24 @@ func (s *scheduler) cancel(qid uint64, now time.Time) *Result {
 			continue
 		}
 		q.items = kept
+		s.pendingItems -= removed
 		if !q.spilled {
 			s.memObjects -= removed
 		}
 		s.stats.CancelledObjects += int64(removed)
 		qs.remaining -= removed
 		if len(q.items) == 0 {
-			delete(s.queues, idx)
+			s.detachQueue(q)
+			s.releaseQueue(q)
 			continue
 		}
-		// Rebuild the age dominance frontier from the surviving items.
-		q.ageFrontier = nil
-		items := q.items
-		q.items = nil
-		for _, it := range items {
-			q.push(it)
+		rebuildFrontier(q)
+		if s.idx != nil {
+			if s.idx.needsUt() {
+				s.refreshUt(q)
+			}
+			s.idx.lenChanged(q)
+			s.idx.ageKeyChanged(q)
 		}
 	}
 	if qs.remaining != 0 {
@@ -238,14 +448,10 @@ func (s *scheduler) cancel(qid uint64, now time.Time) *Result {
 	return &qs.result
 }
 
-// pendingWork reports whether any queue holds items.
+// pendingWork reports whether any queue holds items. O(1): admission,
+// service, and cancel maintain the pendingItems counter.
 func (s *scheduler) pendingWork() bool {
-	for _, q := range s.queues {
-		if len(q.items) > 0 {
-			return true
-		}
-	}
-	return false
+	return s.pendingItems > 0
 }
 
 // workloadThroughput computes Ut(i) of Eq. 1 in objects per second:
@@ -278,19 +484,31 @@ func (s *scheduler) age(q *bqueue, now time.Time) float64 {
 }
 
 // pick selects the next bucket to service per the configured policy.
-// ok is false when no queue has work.
+// ok is false when no queue has work. The indexed paths and their scan
+// references make identical decisions (golden_test.go); the scans remain
+// both as the fallback where the index cannot order queues (QoS age
+// weights, see DESIGN-sched-index.md §4) and as the benchmark baseline.
 func (s *scheduler) pick(now time.Time) (int, bool) {
 	switch s.cfg.Policy {
 	case PolicyRoundRobin:
-		return s.pickRoundRobin()
+		if s.idx != nil {
+			return s.pickRoundRobinIndexed()
+		}
+		return s.pickRoundRobinScan()
 	case PolicyLeastShared:
-		return s.pickLeastShared()
+		if s.idx != nil {
+			return s.pickLeastSharedIndexed()
+		}
+		return s.pickLeastSharedScan()
 	default:
-		return s.pickLifeRaft(now)
+		if s.idx != nil && s.idx.exactAge {
+			return s.pickLifeRaftIndexed(now)
+		}
+		return s.pickLifeRaftScan(now)
 	}
 }
 
-// pickLifeRaft evaluates the aged workload throughput metric (Eq. 2)
+// pickLifeRaftScan evaluates the aged workload throughput metric (Eq. 2)
 // over all non-empty queues:
 //
 //	Ua(i) = Ût(i)·(1-α) + Â(i)·α
@@ -298,14 +516,11 @@ func (s *scheduler) pick(now time.Time) (int, bool) {
 // where Ût and Â are Ut and A normalized to [0,1] over the current
 // non-empty queues (DESIGN.md §3 explains the normalization), and returns
 // the argmax. Ties break toward the lower bucket index, making schedules
-// deterministic.
-func (s *scheduler) pickLifeRaft(now time.Time) (int, bool) {
+// deterministic. This is the seed's exhaustive O(B) pick, kept as the
+// reference for pickLifeRaftIndexed and as the QoS fallback.
+func (s *scheduler) pickLifeRaftScan(now time.Time) (int, bool) {
 	maxUt, maxAge := 0.0, 0.0
-	type scored struct {
-		idx     int
-		ut, age float64
-	}
-	cands := make([]scored, 0, len(s.queues))
+	cands := s.scoredBuf[:0]
 	for _, q := range s.queues {
 		if len(q.items) == 0 {
 			continue
@@ -320,6 +535,7 @@ func (s *scheduler) pickLifeRaft(now time.Time) (int, bool) {
 			maxAge = age
 		}
 	}
+	s.scoredBuf = cands
 	if len(cands) == 0 {
 		return 0, false
 	}
@@ -340,9 +556,25 @@ func (s *scheduler) pickLifeRaft(now time.Time) (int, bool) {
 	return best, true
 }
 
-// pickRoundRobin services non-empty buckets cyclically in HTM ID (= index)
-// order, oblivious to queue length and age (§5: the RR baseline).
-func (s *scheduler) pickRoundRobin() (int, bool) {
+// pickRoundRobinIndexed services non-empty buckets cyclically in HTM ID
+// order using the ordered non-empty set: one circular successor query
+// instead of scanning every bucket index.
+func (s *scheduler) pickRoundRobinIndexed() (int, bool) {
+	n := s.cfg.Store.Partition().NumBuckets()
+	i := s.idx.nonEmpty.nextFrom(s.rrNext % n)
+	if i < 0 {
+		i = s.idx.nonEmpty.nextFrom(0) // wrap: any non-empty bucket is below rrNext
+	}
+	if i < 0 {
+		return 0, false
+	}
+	s.rrNext = i + 1
+	return i, true
+}
+
+// pickRoundRobinScan is the seed's O(NumBuckets) round-robin pick
+// (§5: the RR baseline), kept as the reference implementation.
+func (s *scheduler) pickRoundRobinScan() (int, bool) {
 	n := s.cfg.Store.Partition().NumBuckets()
 	for off := 0; off < n; off++ {
 		idx := (s.rrNext + off) % n
@@ -354,11 +586,20 @@ func (s *scheduler) pickRoundRobin() (int, bool) {
 	return 0, false
 }
 
-// pickLeastShared selects the non-empty queue with the fewest pending
+// pickLeastSharedIndexed selects the non-empty queue with the fewest
+// pending objects — the head of the length ordering.
+func (s *scheduler) pickLeastSharedIndexed() (int, bool) {
+	if s.idx.lens.len() == 0 {
+		return -1, false
+	}
+	return s.idx.lens.head().idx, true
+}
+
+// pickLeastSharedScan selects the non-empty queue with the fewest pending
 // objects (ties toward the lower index): jobs that benefit least from
 // future co-scheduling run first, after Agrawal et al.'s least-sharable
-// policy for shared file scans (paper §6).
-func (s *scheduler) pickLeastShared() (int, bool) {
+// policy for shared file scans (paper §6). Reference implementation.
+func (s *scheduler) pickLeastSharedScan() (int, bool) {
 	best, bestLen := -1, 0
 	for _, q := range s.queues {
 		n := len(q.items)
@@ -375,15 +616,25 @@ func (s *scheduler) pickLeastShared() (int, bool) {
 // step services one bucket: it selects per policy, runs the hybrid join
 // evaluator charging all I/O and match costs, and returns the queries
 // completed by this batch. ok is false when no work was pending.
+//
+// The returned slice aliases scheduler scratch and is valid only until
+// the next step (or serviceBucket) call; both engine loops consume it
+// immediately (run.go appends the values, live.go delivers them).
 func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
 	idx, ok := s.pick(now)
 	if !ok {
 		return nil, false
 	}
+	return s.serviceBucket(idx, now), true
+}
+
+// serviceBucket runs the join evaluator for one picked bucket. Split from
+// step so the golden-equivalence test can interpose on the pick.
+func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 	q := s.queues[idx]
 	items := q.items
-	q.items, q.ageFrontier = nil, nil
-	delete(s.queues, idx)
+	s.pendingItems -= len(items)
+	s.detachQueue(q)
 	if q.spilled {
 		// Fetch the spilled queue back from disk.
 		s.stats.SpillFetches++
@@ -400,15 +651,16 @@ func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
 	objs, inMem := s.cache.Get(idx)
 	strategy := xmatch.ChooseStrategy(count, bucketLen, s.cfg.HybridThreshold, inMem)
 	var pairs []xmatch.Pair
-	wos := make([]xmatch.WorkloadObject, count)
-	for i, it := range items {
-		wos[i] = it.wo
+	wos := s.wosBuf[:0]
+	for _, it := range items {
+		wos = append(wos, it.wo)
 	}
+	s.wosBuf = wos
 	switch strategy {
 	case xmatch.Scan:
 		if !inMem {
 			objs, _ = s.cfg.Store.ReadBucket(idx)
-			s.cache.Put(idx, objs)
+			s.cachePut(idx, objs)
 		}
 		s.cfg.Disk.MatchObjects(count)
 		if s.cfg.MaterializeResults {
@@ -427,14 +679,17 @@ func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
 
 	// Distribute results and retire work units.
 	end := s.cfg.Clock.Now()
-	byQuery := make(map[uint64][]xmatch.Pair)
+	byQuery := s.byQueryBuf
+	clear(byQuery)
 	for _, p := range pairs {
 		byQuery[p.QueryID] = append(byQuery[p.QueryID], p)
 	}
-	seen := make(map[uint64]int)
+	seen := s.seenBuf
+	clear(seen)
 	for _, it := range items {
 		seen[it.wo.QueryID]++
 	}
+	completed := s.completedBuf[:0]
 	for qid, n := range seen {
 		qs := s.queries[qid]
 		if qs == nil {
@@ -455,7 +710,9 @@ func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
 			delete(s.preds, qid)
 		}
 	}
-	return completed, true
+	s.completedBuf = completed
+	s.releaseQueue(q)
+	return completed
 }
 
 // finalize snapshots run statistics.

@@ -128,24 +128,26 @@ func TestLongerQueueWinsWhenGreedy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two synthetic queues: bucket 3 short, bucket 7 long.
-	mk := func(idx, n int) {
-		q := &bqueue{idx: idx}
+	mk := func(s *scheduler, idx, n int, arrived time.Time) {
 		for i := 0; i < n; i++ {
-			q.push(item{arrived: simclock.Epoch, ageWeight: 1})
+			s.pushItem(idx, item{arrived: arrived, ageWeight: 1})
 		}
-		s.queues[idx] = q
 	}
-	mk(3, 5)
-	mk(7, 500)
+	mk(s, 3, 5, simclock.Epoch)
+	mk(s, 7, 500, simclock.Epoch)
 	idx, ok := s.pick(simclock.Epoch.Add(time.Minute))
 	if !ok || idx != 7 {
 		t.Errorf("greedy pick = %d, want the contentious bucket 7", idx)
 	}
 	// With α=1, the older queue wins even if shorter.
-	s.cfg.Alpha = 1
-	s.queues[3].items[0].arrived = simclock.Epoch.Add(-time.Hour)
-	s.queues[3].ageFrontier[0].arrived = simclock.Epoch.Add(-time.Hour)
-	idx, ok = s.pick(simclock.Epoch.Add(time.Minute))
+	cfg2, _ := NewVirtual(part, 1, false)
+	s2, err := newScheduler(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk(s2, 3, 5, simclock.Epoch.Add(-time.Hour))
+	mk(s2, 7, 500, simclock.Epoch)
+	idx, ok = s2.pick(simclock.Epoch.Add(time.Minute))
 	if !ok || idx != 3 {
 		t.Errorf("aged pick = %d, want the older bucket 3", idx)
 	}
@@ -159,15 +161,13 @@ func TestCachedBucketPreferredAtAlphaZero(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func(idx, n int) {
-		q := &bqueue{idx: idx}
 		for i := 0; i < n; i++ {
-			q.push(item{arrived: simclock.Epoch, ageWeight: 1})
+			s.pushItem(idx, item{arrived: simclock.Epoch, ageWeight: 1})
 		}
-		s.queues[idx] = q
 	}
 	mk(1, 50)  // cached below
 	mk(2, 400) // longer but out of core
-	s.cache.Put(1, nil)
+	s.cachePut(1, nil)
 	// Eq. 1: a cached bucket's Ut = 1/Tm dwarfs any out-of-core queue
 	// (Tb dominates), so the scheduler "favors buckets in memory" (§3.2).
 	idx, ok := s.pick(simclock.Epoch.Add(time.Second))
@@ -185,21 +185,25 @@ func TestLeastSharedPicksSmallest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for idx, n := range map[int]int{2: 30, 5: 3, 9: 300} {
-		q := &bqueue{idx: idx}
 		for i := 0; i < n; i++ {
-			q.push(item{ageWeight: 1})
+			s.pushItem(idx, item{ageWeight: 1})
 		}
-		s.queues[idx] = q
 	}
 	idx, ok := s.pick(simclock.Epoch)
 	if !ok || idx != 5 {
 		t.Errorf("LSF pick = %d, want 5", idx)
 	}
-	if _, ok := s.pickLeastShared(); !ok {
+	if _, ok := s.pickLeastSharedIndexed(); !ok {
 		t.Error("ok should be true with queues")
 	}
-	s.queues = map[int]*bqueue{}
-	if _, ok := s.pickLeastShared(); ok {
+	if _, ok := s.pickLeastSharedScan(); !ok {
+		t.Error("scan reference should agree there is work")
+	}
+	empty, err := newScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.pick(simclock.Epoch); ok {
 		t.Error("empty scheduler should report no work")
 	}
 }
@@ -244,21 +248,23 @@ func TestRoundRobinCyclesInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, idx := range []int{10, 3, 7} {
-		q := &bqueue{idx: idx}
-		q.push(item{wo: xmatch.WorkloadObject{QueryID: 999}, ageWeight: 1})
-		s.queues[idx] = q
+		s.pushItem(idx, item{wo: xmatch.WorkloadObject{QueryID: 999}, ageWeight: 1})
 	}
+	s.queries[999] = &queryState{remaining: 3, result: Result{QueryID: 999}}
 	// RR visits in ascending index order regardless of insertion order.
 	var order []int
 	for i := 0; i < 3; i++ {
-		idx, ok := s.pickRoundRobin()
+		idx, ok := s.pick(simclock.Epoch)
 		if !ok {
 			t.Fatal("ran out")
 		}
 		order = append(order, idx)
-		delete(s.queues, idx)
+		s.serviceBucket(idx, simclock.Epoch)
 	}
 	if order[0] != 3 || order[1] != 7 || order[2] != 10 {
 		t.Errorf("RR order = %v, want [3 7 10]", order)
+	}
+	if s.pendingWork() {
+		t.Error("all queues serviced but pendingWork still true")
 	}
 }
