@@ -70,7 +70,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("no cross-matches through the public API")
 	}
 	s := liferaft.Summarize(resp)
-	if s.Count != len(results) || math.IsNaN(s.CoV) {
+	if s.Count != int64(len(results)) || math.IsNaN(s.CoV) {
 		t.Fatalf("summary malformed: %+v", s)
 	}
 }
@@ -278,7 +278,7 @@ func TestPublicServingAPI(t *testing.T) {
 		t.Errorf("tenant stats = %+v", ts)
 	}
 	var sum liferaft.Summary = ts.RespTime
-	if sum.Count != len(trace.Queries) {
+	if sum.Count != int64(len(trace.Queries)) {
 		t.Errorf("resp summary count = %d", sum.Count)
 	}
 

@@ -22,6 +22,15 @@
 //	    -peers twomass=127.0.0.1:7702,usnob=127.0.0.1:7703
 //	curl -s 127.0.0.1:8080/v1/query -d '{"tenant":"vip","query":
 //	  "SELECT * FROM sdss s, twomass t WHERE XMATCH(s,t) < 5 AND REGION(CIRCLE J2000 150 20 4)"}'
+//
+// Persistent storage: -data-dir serves this node's buckets from an
+// on-disk segment store (built there on first start; see
+// internal/segment) with real I/O on the real clock, instead of the
+// analytic disk model. -object-bytes shrinks the per-object stride for
+// small installations:
+//
+//	liferaftd -archive sdss -addr 127.0.0.1:7701 \
+//	    -data-dir /var/lib/liferaft/sdss -object-bytes 512
 package main
 
 import (
@@ -31,15 +40,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"liferaft/internal/bucket"
 	"liferaft/internal/catalog"
 	"liferaft/internal/federation"
 	"liferaft/internal/geom"
+	"liferaft/internal/segment"
 	"liferaft/internal/server"
 	"liferaft/internal/simclock"
 	"liferaft/internal/skyql"
@@ -47,21 +59,23 @@ import (
 
 // options collects every flag, so validation is testable as one unit.
 type options struct {
-	archive    string
-	addr       string
-	baseN      int
-	baseSeed   int64
-	genLevel   int
-	perBucket  int
-	alpha      float64
-	cache      int
-	shards     int
-	virtual    bool
-	httpAddr   string
-	tenants    string
-	rate       float64
-	queueDepth int
-	peers      string
+	archive     string
+	addr        string
+	baseN       int
+	baseSeed    int64
+	genLevel    int
+	perBucket   int
+	alpha       float64
+	cache       int
+	shards      int
+	virtual     bool
+	httpAddr    string
+	tenants     string
+	rate        float64
+	queueDepth  int
+	peers       string
+	dataDir     string
+	objectBytes int64
 }
 
 func main() {
@@ -81,6 +95,8 @@ func main() {
 	flag.Float64Var(&o.rate, "rate", 0, "per-tenant admission rate in queries/sec (0 = unlimited)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-tenant pending-queue bound (0 = serving-layer default)")
 	flag.StringVar(&o.peers, "peers", "", "peer archives for gateway cross-matches as name=addr pairs")
+	flag.StringVar(&o.dataDir, "data-dir", "", "serve buckets from the segment store under this directory (real I/O; built on first start, implies -virtual-clock=false)")
+	flag.Int64Var(&o.objectBytes, "object-bytes", 0, "on-disk bytes per object for -data-dir (0 = the paper's 4096)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -112,6 +128,12 @@ func (o options) validate() error {
 	}
 	if o.queueDepth < 0 {
 		return fmt.Errorf("-queue-depth %d must be non-negative", o.queueDepth)
+	}
+	if o.objectBytes < 0 {
+		return fmt.Errorf("-object-bytes %d must be non-negative", o.objectBytes)
+	}
+	if o.objectBytes != 0 && o.dataDir == "" {
+		return fmt.Errorf("-object-bytes only makes sense with -data-dir")
 	}
 	if _, err := parseTenants(o.tenants); err != nil {
 		return err
@@ -269,13 +291,37 @@ func run(o options) error {
 		return err
 	}
 	var clk simclock.Clock = simclock.Real{}
-	if o.virtual {
+	if o.virtual && o.dataDir == "" {
 		clk = simclock.NewVirtual()
+	}
+	if o.dataDir != "" {
+		// Build the segment store if it is missing before the node
+		// opens (and validates) it — daemons synthesize their catalog
+		// deterministically, so the store is reproducible from the
+		// same flags. An existing store is left for the node's own
+		// open-and-verify pass, not verified twice.
+		if _, err := os.Stat(filepath.Join(o.dataDir, segment.ManifestName)); os.IsNotExist(err) {
+			part, err := bucket.NewPartition(cat, o.perBucket, o.objectBytes)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			wst, err := segment.Write(o.dataDir, part, segment.WriteOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("built segment store under %s: %d segments, %.1f MB in %v\n",
+				o.dataDir, wst.Segments, float64(wst.Bytes)/1e6, time.Since(start).Round(time.Millisecond))
+		} else if err != nil {
+			return err
+		} else {
+			fmt.Printf("opening segment store under %s\n", o.dataDir)
+		}
 	}
 	node, err := federation.NewNode(federation.NodeConfig{
 		Catalog: cat, ObjectsPerBucket: o.perBucket,
 		Alpha: o.alpha, CacheBuckets: o.cache, Shards: o.shards, Clock: clk,
-		Serving: serving,
+		Serving: serving, DataDir: o.dataDir, ObjectBytes: o.objectBytes,
 	})
 	if err != nil {
 		return err

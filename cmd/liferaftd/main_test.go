@@ -38,6 +38,10 @@ func TestValidateFlags(t *testing.T) {
 		{"tenants empty name", func(o *options) { o.tenants = ":3" }, false},
 		{"peers good", func(o *options) { o.peers = "twomass=127.0.0.1:7702" }, true},
 		{"peers bad", func(o *options) { o.peers = "twomass" }, false},
+		{"data-dir", func(o *options) { o.dataDir = "/tmp/lfseg" }, true},
+		{"data-dir with stride", func(o *options) { o.dataDir = "/tmp/lfseg"; o.objectBytes = 256 }, true},
+		{"object-bytes negative", func(o *options) { o.dataDir = "/tmp/lfseg"; o.objectBytes = -1 }, false},
+		{"object-bytes without data-dir", func(o *options) { o.objectBytes = 256 }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

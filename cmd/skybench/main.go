@@ -4,13 +4,16 @@
 // Usage:
 //
 //	skybench [-scale ci|mid|paper] [-exp all|fig2|fig4|fig5|fig6|fig7|fig8|indexonly|cache|ablations]
-//	skybench -bench-json BENCH_3.json
+//	skybench -bench-json BENCH_4.json [-data-dir DIR]
 //
 // Examples:
 //
 //	skybench                      # every experiment at CI scale
 //	skybench -scale mid -exp fig7 # the headline comparison at 2,000 buckets
-//	skybench -bench-json BENCH_3.json  # scheduler perf snapshot for the trajectory
+//	skybench -bench-json BENCH_4.json -data-dir /tmp/lfseg
+//	    # scheduler perf snapshot for the trajectory, plus qps measured
+//	    # against actual disks via the segment store under -data-dir
+//	    # (built there on first use)
 package main
 
 import (
@@ -18,10 +21,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"liferaft/internal/bucket"
+	"liferaft/internal/catalog"
 	"liferaft/internal/core"
 	"liferaft/internal/exper"
+	"liferaft/internal/geom"
+	"liferaft/internal/segment"
+	"liferaft/internal/workload"
 )
 
 func main() {
@@ -29,14 +38,19 @@ func main() {
 	expName := flag.String("exp", "all", "experiment: all, fig2, fig4, fig5, fig6, fig7, fig8, indexonly, cache, ablations")
 	shards := flag.Int("shards", 1, "disk/worker shards per engine (1 = the paper's single disk)")
 	benchJSON := flag.String("bench-json", "", "measure the scheduler hot path (vqps, picks/sec, allocs/op), print an old-vs-new comparison, write the snapshot to this file, and exit")
+	dataDir := flag.String("data-dir", "", "with -bench-json: also replay a trace against the real-I/O segment store under this directory (built there on first use)")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		if err := runBenchJSON(*benchJSON, *dataDir); err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "skybench: -data-dir requires -bench-json")
+		os.Exit(1)
 	}
 	if err := run(*scaleName, *expName, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
@@ -54,14 +68,46 @@ type benchSnapshot struct {
 	PickSpeedup     float64           `json:"pick_speedup_10k"`
 	StepAllocsPerOp float64           `json:"step_allocs_per_op_10k"`
 	Probes          []core.PerfReport `json:"probes"`
+	// RealIO reports the -data-dir replay: the first figures in this
+	// repo measured against actual disks instead of the analytic model.
+	RealIO *realIOSnapshot `json:"real_io,omitempty"`
+}
+
+// realIOSnapshot is the file-backed replay's measured result.
+type realIOSnapshot struct {
+	DataDir       string  `json:"data_dir"`
+	Queries       int     `json:"queries"`
+	Buckets       int     `json:"buckets"`
+	StoreMB       float64 `json:"store_mb"`
+	WriteMBps     float64 `json:"write_mbps,omitempty"` // 0 when the store already existed
+	QPS           float64 `json:"qps"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ReadMB        float64 `json:"read_mb"`
+	SeqReads      int64   `json:"seq_reads"`
+	IndexProbes   int64   `json:"index_probes"`
+	ScanServices  int64   `json:"scan_services"`
+	IndexServices int64   `json:"index_services"`
 }
 
 // runBenchJSON measures the scheduler hot path at B ∈ {1k, 10k, 100k}
 // active buckets, replays the CI-scale trace for an end-to-end vqps
-// figure, prints a benchstat-style old-vs-new table, and writes the
-// snapshot to path.
-func runBenchJSON(path string) error {
+// figure, optionally replays a trace against the real segment store
+// under dataDir, prints a benchstat-style old-vs-new table, and writes
+// the snapshot to path.
+func runBenchJSON(path, dataDir string) error {
 	snap := benchSnapshot{GeneratedBy: "skybench -bench-json"}
+	// Resolve the real-I/O store up front: a mismatched or unreadable
+	// -data-dir must fail before minutes of virtual benchmarking, not
+	// after.
+	var fixture *realFixture
+	if dataDir != "" {
+		var err error
+		fixture, err = prepareRealIO(dataDir)
+		if err != nil {
+			return err
+		}
+		defer fixture.close()
+	}
 	fmt.Println("scheduler pick: exhaustive scan (old) vs incremental index (new)")
 	fmt.Printf("%-14s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
 	for _, b := range []int{1_000, 10_000, 100_000} {
@@ -102,6 +148,16 @@ func runBenchJSON(path string) error {
 	fmt.Printf("end-to-end: %.2f virtual queries/sec over %d queries (%s scale)\n",
 		snap.VQPS, stats.Completed, scale.Name)
 
+	if fixture != nil {
+		real, err := fixture.replay()
+		if err != nil {
+			return err
+		}
+		snap.RealIO = real
+		fmt.Printf("real I/O (%s): %.2f queries/sec over %d queries in %.2fs — %.1f MB read in %d bucket scans + %d index probes\n",
+			dataDir, real.QPS, real.Queries, real.ElapsedSec, real.ReadMB, real.SeqReads, real.IndexProbes)
+	}
+
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -111,6 +167,147 @@ func runBenchJSON(path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// realFixture is the resolved -data-dir replay environment: the opened
+// (and validated) segment store plus the matching synthetic catalog.
+type realFixture struct {
+	dataDir   string
+	set       *segment.Set
+	part      *bucket.Partition
+	local     *catalog.Catalog
+	seed      int64
+	writeMBps float64 // 0 when the store already existed
+}
+
+// close releases the segment set. Set.Close is idempotent, so this is
+// safe whether or not replay already handed the set to an engine whose
+// store was closed.
+func (f *realFixture) close() { f.set.Close() }
+
+// prepareRealIO resolves the segment store under dataDir. An existing
+// store's recorded geometry wins: skybench re-synthesizes the base
+// survey the manifest describes, so any store skygen -write-segments
+// built (at any flags) replays as-is. A missing store is built at a
+// deliberately small default geometry — 200 buckets of 150 objects at
+// a 512-byte stride (~15 MB) — so a CI runner finishes in seconds
+// while every byte the scheduler charges for is genuinely moved.
+func prepareRealIO(dataDir string) (*realFixture, error) {
+	f := &realFixture{dataDir: dataDir}
+	if _, err := os.Stat(filepath.Join(dataDir, segment.ManifestName)); err == nil {
+		set, err := segment.OpenSet(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		geo := set.Geometry()
+		if geo.Derived {
+			set.Close()
+			return nil, fmt.Errorf("%s was built from derived archive %q; the replay can only re-synthesize base surveys", dataDir, geo.Catalog)
+		}
+		f.local, err = catalog.New(catalog.Config{
+			Name: geo.Catalog, N: int(geo.TotalObjects), Seed: geo.Seed,
+			GenLevel: geo.GenLevel, CacheTrixels: geo.TotalObjects <= 10_000_000,
+		})
+		if err != nil {
+			set.Close()
+			return nil, fmt.Errorf("re-synthesizing the catalog %s records: %w", dataDir, err)
+		}
+		f.part, err = bucket.NewPartition(f.local, geo.PerBucket, geo.ObjectBytes)
+		if err != nil {
+			set.Close()
+			return nil, err
+		}
+		if err := set.Validate(f.part); err != nil {
+			set.Close()
+			return nil, err
+		}
+		f.set, f.seed = set, geo.Seed
+		return f, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	const (
+		objects     = 30_000
+		seed        = 42
+		genLevel    = 4
+		perBucket   = 150
+		objectBytes = 512
+	)
+	local, err := catalog.New(catalog.Config{
+		Name: "sdss", N: objects, Seed: seed, GenLevel: genLevel, CacheTrixels: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	part, err := bucket.NewPartition(local, perBucket, objectBytes)
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	set, wst, err := segment.Ensure(dataDir, part, segment.WriteOptions{})
+	if err != nil {
+		return nil, err
+	}
+	f.local, f.part, f.set, f.seed = local, part, set, seed
+	f.writeMBps = float64(wst.Bytes) / 1e6 / time.Since(buildStart).Seconds()
+	fmt.Printf("built segment store: %d segments, %.1f MB at %.1f MB/s\n",
+		wst.Segments, float64(wst.Bytes)/1e6, f.writeMBps)
+	return f, nil
+}
+
+// replay runs a saturated trace through the file-backed engine:
+// buckets served by pread from the fixture's segment store, costs
+// measured on the real clock.
+func (f *realFixture) replay() (*realIOSnapshot, error) {
+	const queries = 120
+	remote, err := catalog.NewDerived(f.local, catalog.DerivedConfig{
+		Name: "twomass", Seed: f.seed + 1, Fraction: 0.8,
+		JitterRad: geom.ArcsecToRad(1.5), CacheTrixels: f.local.Total() <= 10_000_000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	real := &realIOSnapshot{
+		DataDir: f.dataDir, Queries: queries, Buckets: f.part.NumBuckets(),
+		StoreMB:   float64(int64(f.local.Total())*f.part.ObjectBytes()) / 1e6,
+		WriteMBps: f.writeMBps,
+	}
+
+	tcfg := workload.DefaultTraceConfig(f.seed)
+	tcfg.NumQueries = queries
+	tcfg.MinSelectivity, tcfg.MaxSelectivity = 0.05, 0.6
+	trace, err := workload.Generate(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, 0, len(trace.Queries))
+	for _, q := range trace.Queries {
+		jobs = append(jobs, core.Job{
+			ID:      q.ID,
+			Objects: workload.Materialize(q, remote, tcfg.Seed),
+			Pred:    q.Predicate(),
+		})
+	}
+
+	cfg, err := core.NewFileBackedFrom(f.part, 0.5, false, f.set)
+	if err != nil {
+		return nil, err // NewFileBackedFrom closed the set
+	}
+	defer cfg.Store.Close()
+	offsets := make([]time.Duration, len(jobs)) // batch: saturated from t=0
+	_, stats, err := core.Run(cfg, jobs, offsets)
+	if err != nil {
+		return nil, err
+	}
+	real.QPS = stats.Throughput()
+	real.ElapsedSec = stats.Makespan.Seconds()
+	real.ReadMB = float64(stats.Disk.SeqBytes) / 1e6
+	real.SeqReads = stats.Disk.SeqReads
+	real.IndexProbes = stats.Disk.Probes
+	real.ScanServices = stats.ScanServices
+	real.IndexServices = stats.IndexServices
+	return real, nil
 }
 
 func run(scaleName, expName string, shards int) error {

@@ -98,6 +98,11 @@ func (p *Partition) Bucket(i int) Bucket { return p.buckets[i] }
 // PerBucket returns the configured objects-per-bucket quota.
 func (p *Partition) PerBucket() int { return p.perBucket }
 
+// ObjectBytes returns the on-disk size per object. Segment files use it
+// as their record stride, so the bytes a real read transfers equal the
+// bytes the disk model charges for.
+func (p *Partition) ObjectBytes() int64 { return p.objectBytes }
+
 // BucketBytes returns the on-disk size of bucket i.
 func (p *Partition) BucketBytes(i int) int64 {
 	return int64(p.buckets[i].Count()) * p.objectBytes
@@ -153,6 +158,29 @@ func (p *Partition) Materialize(i int) []catalog.Object {
 	return p.cat.Objects(b.Lo, b.Hi)
 }
 
+// Backend is a pluggable storage layer under a Store. The default
+// (nil) backend is the analytic disk model: reads cost what the model
+// says and objects come from the synthetic catalog. A non-nil backend
+// performs real I/O — ReadBucket and Probe block for as long as the
+// hardware takes — and the Store accounts the measured elapsed time to
+// the disk's statistics instead of charging model cost to the clock.
+// internal/segment provides the file-backed implementation.
+type Backend interface {
+	// ReadBucket returns bucket i's objects in HTM-curve order (nil in
+	// cost-only mode) and the number of data bytes read.
+	ReadBucket(i int) (objs []catalog.Object, bytesRead int64, err error)
+	// Probe performs the I/O of n index probes into bucket i. In
+	// materializing mode it returns the bucket's objects so the join
+	// evaluator can probe them in memory, mirroring the simulated
+	// store's contract.
+	Probe(i, n int) (objs []catalog.Object, bytesRead int64, err error)
+	// Fork opens an independent backend over the same data (fresh file
+	// descriptors); each shard of a sharded engine gets its own.
+	Fork() (Backend, error)
+	// Close releases the backend's resources.
+	Close() error
+}
+
 // Store serves buckets from the modeled disk, charging sequential-scan
 // cost for full bucket reads and sorted-probe cost for indexed access.
 // The cache layer sits above the store (see the engine); every Store read
@@ -161,6 +189,11 @@ type Store struct {
 	part        *Partition
 	dsk         *disk.Disk
 	materialize bool
+	// backend, when non-nil, replaces the modeled reads with real I/O
+	// (see Backend). Read errors from a backend are fail-stop: a
+	// checksum mismatch or vanished file panics rather than silently
+	// serving wrong matches. DESIGN-segments.md discusses the trade.
+	backend Backend
 }
 
 // NewStore builds a store over a partition. If materialize is false, reads
@@ -173,20 +206,67 @@ func NewStore(part *Partition, d *disk.Disk, materialize bool) *Store {
 // Partition returns the store's partition.
 func (s *Store) Partition() *Partition { return s.part }
 
-// WithDisk returns a Store over the same partition and materialization
-// mode that charges I/O to d. The sharded engine rebinds the configured
-// store to each shard's own disk this way, so shards never contend for
-// one modeled arm.
+// WithDisk returns a Store over the same partition, materialization
+// mode, and backend that charges I/O to d. The sharded engine rebinds
+// the configured store to each shard's own disk this way, so shards
+// never contend for one modeled arm. A file-backed store's backend is
+// shared by the copy; use Fork to give a shard its own descriptors.
 func (s *Store) WithDisk(d *disk.Disk) *Store {
-	return &Store{part: s.part, dsk: d, materialize: s.materialize}
+	return &Store{part: s.part, dsk: d, materialize: s.materialize, backend: s.backend}
+}
+
+// WithBackend returns a Store serving reads from b instead of the disk
+// model (see Backend). The disk keeps accounting statistics — real
+// reads record their measured elapsed time — so RunStats.Disk reports
+// the same counters either way.
+func (s *Store) WithBackend(b Backend) *Store {
+	return &Store{part: s.part, dsk: s.dsk, materialize: s.materialize, backend: b}
+}
+
+// Backend returns the store's backend, nil for the simulated disk.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Fork returns a Store charging I/O to d with its own backend instance:
+// the sharding path, where every shard must own both its disk (modeled
+// or accounted) and its file descriptors.
+func (s *Store) Fork(d *disk.Disk) (*Store, error) {
+	ns := s.WithDisk(d)
+	if s.backend != nil {
+		b, err := s.backend.Fork()
+		if err != nil {
+			return nil, err
+		}
+		ns.backend = b
+	}
+	return ns, nil
+}
+
+// Close releases the store's backend (segment file handles); a
+// simulated store holds nothing and returns nil.
+func (s *Store) Close() error {
+	if s.backend != nil {
+		return s.backend.Close()
+	}
+	return nil
 }
 
 // Materializing reports whether reads return objects.
 func (s *Store) Materializing() bool { return s.materialize }
 
 // ReadBucket performs a full sequential scan of bucket i, charging its
-// disk cost. The returned objects are nil in cost-only mode.
+// disk cost — modeled cost on the simulated backend, measured elapsed
+// time on a real one. The returned objects are nil in cost-only mode.
 func (s *Store) ReadBucket(i int) ([]catalog.Object, time.Duration) {
+	if s.backend != nil {
+		start := time.Now()
+		objs, n, err := s.backend.ReadBucket(i)
+		if err != nil {
+			panic(fmt.Sprintf("bucket: backend scan of bucket %d: %v", i, err))
+		}
+		elapsed := time.Since(start)
+		s.dsk.AccountSequential(n, elapsed)
+		return objs, elapsed
+	}
 	cost := s.dsk.ReadSequential(s.part.BucketBytes(i))
 	if !s.materialize {
 		return nil, cost
@@ -199,6 +279,16 @@ func (s *Store) ReadBucket(i int) ([]catalog.Object, time.Duration) {
 // it returns the bucket's objects so the caller can evaluate matches; the
 // cost charged is the probe cost, not a scan.
 func (s *Store) Probe(i, n int) ([]catalog.Object, time.Duration) {
+	if s.backend != nil {
+		start := time.Now()
+		objs, _, err := s.backend.Probe(i, n)
+		if err != nil {
+			panic(fmt.Sprintf("bucket: backend probe of bucket %d: %v", i, err))
+		}
+		elapsed := time.Since(start)
+		s.dsk.AccountProbes(n, elapsed)
+		return objs, elapsed
+	}
 	cost := s.dsk.ReadProbes(n)
 	if !s.materialize {
 		return nil, cost

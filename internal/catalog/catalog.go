@@ -207,6 +207,17 @@ func (c *Catalog) Total() int { return c.cfg.N }
 // GenLevel returns the coarse materialization level.
 func (c *Catalog) GenLevel() int { return c.cfg.GenLevel }
 
+// Seed returns the generation seed. Together with Name, Total, and
+// GenLevel it identifies a base survey's content exactly (derived
+// catalogs additionally depend on their base); the segment store
+// records it so tools can re-synthesize the catalog a store was built
+// from.
+func (c *Catalog) Seed() int64 { return c.cfg.Seed }
+
+// Derived reports whether the catalog was built by NewDerived (its
+// content depends on a base survey, not on Seed alone).
+func (c *Catalog) Derived() bool { return c.derive != nil }
+
 // TrixelCount returns the number of objects in GenLevel trixel pos.
 func (c *Catalog) TrixelCount(pos uint64) int { return int(c.counts[pos]) }
 

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/cache"
+	"liferaft/internal/disk"
+	"liferaft/internal/segment"
+	"liferaft/internal/simclock"
+	"liferaft/internal/xmatch"
+)
+
+// BackendKind names the storage backend serving Config.Store.
+type BackendKind string
+
+const (
+	// BackendSim serves buckets from the analytic disk model: costs are
+	// charged to the configured clock (virtual for experiments) and
+	// objects come from the synthetic catalog. The default, and the
+	// configuration every paper figure and golden test runs.
+	BackendSim BackendKind = "sim"
+	// BackendFile serves buckets from segment files under
+	// Config.DataDir with real I/O: reads block for as long as the
+	// hardware takes and the engine runs on the real clock, so measured
+	// throughput is hardware throughput. Built with NewFileBacked.
+	BackendFile BackendKind = "file"
+)
+
+// NewFileBacked builds the real-I/O stack: the segment store under
+// dataDir (written beforehand by segment.Write / cmd/skygen
+// -write-segments) serves the buckets, the engine runs on
+// simclock.Real, and the disk object keeps the SkyQuery model only for
+// the costs that remain modeled (the in-memory match constant Tm and
+// workload spill accounting) while real reads record their measured
+// elapsed time. The store is validated against part before the first
+// read; close it with cfg.Store.Close() when the engine is done.
+func NewFileBacked(part *bucket.Partition, alpha float64, materialize bool, dataDir string) (Config, error) {
+	set, err := segment.OpenSet(dataDir)
+	if err != nil {
+		return Config{}, err
+	}
+	return NewFileBackedFrom(part, alpha, materialize, set)
+}
+
+// NewFileBackedFrom is NewFileBacked over an already-opened segment
+// set, taking ownership of it (cfg.Store.Close() releases it). Callers
+// that just built or probed the store with segment.Ensure hand the open
+// set straight over instead of paying a second open-and-verify pass
+// over every segment file.
+func NewFileBackedFrom(part *bucket.Partition, alpha float64, materialize bool, set *segment.Set) (Config, error) {
+	if err := set.Validate(part); err != nil {
+		set.Close()
+		return Config{}, err
+	}
+	clk := simclock.Real{}
+	d := disk.New(disk.SkyQuery(), clk)
+	st := bucket.NewStore(part, d, materialize).WithBackend(segment.NewBackend(set, materialize))
+	return Config{
+		Store:              st,
+		Disk:               d,
+		Clock:              clk,
+		Policy:             PolicyLifeRaft,
+		Alpha:              alpha,
+		CacheBuckets:       20,
+		CachePolicy:        cache.PolicyLRU,
+		HybridThreshold:    xmatch.DefaultThreshold,
+		MaterializeResults: materialize,
+		Backend:            BackendFile,
+		DataDir:            set.Dir(),
+	}, nil
+}
+
+// validateBackend checks the backend knob against the rest of the
+// config; called from withDefaults after Store/Clock presence checks.
+func (c Config) validateBackend() error {
+	switch c.Backend {
+	case BackendSim:
+		if c.Store.Backend() != nil {
+			return fmt.Errorf("core: Backend %q but Store has a real-I/O backend attached", c.Backend)
+		}
+	case BackendFile:
+		if c.DataDir == "" {
+			return fmt.Errorf("core: Backend %q requires DataDir", c.Backend)
+		}
+		if c.Store.Backend() == nil {
+			return fmt.Errorf("core: Backend %q but Store serves the disk model; build the config with NewFileBacked", c.Backend)
+		}
+		if _, virtual := c.Clock.(*simclock.Virtual); virtual {
+			return fmt.Errorf("core: Backend %q does real I/O and must run on the real clock, not a virtual one", c.Backend)
+		}
+	default:
+		return fmt.Errorf("core: unknown Backend %q", c.Backend)
+	}
+	return nil
+}

@@ -71,6 +71,15 @@ type Config struct {
 	// Costs are charged identically either way (DESIGN.md §3).
 	MaterializeResults bool
 
+	// Backend selects the storage backend: BackendSim (default) serves
+	// buckets from the analytic disk model on the configured clock;
+	// BackendFile serves them from segment files under DataDir with
+	// real I/O on the real clock. Build file-backed configs with
+	// NewFileBacked, which opens and validates the segment store.
+	Backend BackendKind
+	// DataDir is the segment directory backing BackendFile.
+	DataDir string
+
 	// Shards runs the engine as K independent disk/worker shards: the
 	// bucket space is partitioned across shards (ShardPartitioner), each
 	// shard gets its own forked disk, bucket cache, and workload queues,
@@ -109,6 +118,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Clock == nil {
 		return c, fmt.Errorf("core: Config.Clock is required")
+	}
+	if c.Backend == "" {
+		c.Backend = BackendSim
+	}
+	if err := c.validateBackend(); err != nil {
+		return c, err
 	}
 	if c.Policy == "" {
 		c.Policy = PolicyLifeRaft

@@ -26,6 +26,7 @@ import (
 
 var (
 	goldenOnce    sync.Once
+	goldenLocal   *catalog.Catalog // the local archive; the backend parity test re-partitions it
 	goldenPart    *bucket.Partition
 	goldenHotJobs []Job
 	goldenUniJobs []Job
@@ -40,6 +41,7 @@ func goldenFixture(t *testing.T) (*bucket.Partition, []Job, []Job) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		goldenLocal = local
 		remote, err := catalog.NewDerived(local, catalog.DerivedConfig{
 			Name: "gold-2mass", Seed: 12, Fraction: 0.8,
 			JitterRad: geom.ArcsecToRad(1.5), CacheTrixels: true,

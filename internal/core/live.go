@@ -31,9 +31,11 @@ type Live struct {
 	clock   simclock.Clock
 
 	// Sharded mode (Config.Shards > 1): inner engines and the fan-out
-	// machinery; nil in single-disk mode.
+	// machinery; nil in single-disk mode. shardCfgs holds the forked
+	// per-shard configs so Close can release their forked stores.
 	inner     []*Live
 	smap      *shard.Map
+	shardCfgs []Config
 	mergeWG   sync.WaitGroup
 	closeOnce sync.Once
 
@@ -103,12 +105,18 @@ func newShardedLive(cfg Config) (*Live, error) {
 		clock: cfg.Clock,
 		smap:  m,
 	}
-	for _, sc := range forkConfigs(cfg, m) {
+	shardCfgs, err := forkConfigs(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	l.shardCfgs = shardCfgs
+	for _, sc := range shardCfgs {
 		in, err := NewLive(sc)
 		if err != nil {
 			for _, started := range l.inner {
 				started.Close()
 			}
+			closeForked(shardCfgs)
 			return nil, err
 		}
 		l.inner = append(l.inner, in)
@@ -332,6 +340,7 @@ func (l *Live) closeSharded() error {
 		for _, in := range l.inner {
 			simclock.Join(l.clock, in.Clock().Now())
 		}
+		closeForked(l.shardCfgs)
 		close(l.done)
 	})
 	<-l.done

@@ -44,7 +44,11 @@ func runSharded(cfg Config, jobs []Job, offsets []time.Duration) ([]Result, RunS
 		return nil, RunStats{}, err
 	}
 	start := cfg.Clock.Now()
-	shardCfgs := forkConfigs(cfg, m)
+	shardCfgs, err := forkConfigs(cfg, m)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	defer closeForked(shardCfgs)
 
 	// Fan the jobs out: each shard replays the sub-trace of jobs that
 	// have work on it, at the original arrival offsets.
@@ -145,8 +149,12 @@ func runSharded(cfg Config, jobs []Job, offsets []time.Duration) ([]Result, RunS
 // forkConfigs builds the per-shard engine configs: each shard forks the
 // parent clock (independent virtual time) and the template disk, rebinds
 // the store to its own disk, gets its own bucket cache (newScheduler
-// constructs it per config), and admits only the buckets it owns.
-func forkConfigs(cfg Config, m *shard.Map) []Config {
+// constructs it per config), and admits only the buckets it owns. A
+// file-backed store is forked per shard too — every shard opens its own
+// segment set, so concurrent shard scans never share file descriptors.
+// The caller owns the forked stores and must close them (closeForked)
+// when the shard engines are done.
+func forkConfigs(cfg Config, m *shard.Map) ([]Config, error) {
 	shardCfgs := make([]Config, m.Shards())
 	for s := 0; s < m.Shards(); s++ {
 		s := s
@@ -155,11 +163,26 @@ func forkConfigs(cfg Config, m *shard.Map) []Config {
 		sc.ShardPartitioner = nil
 		sc.Clock = simclock.Fork(cfg.Clock)
 		sc.Disk = cfg.Disk.Fork(sc.Clock)
-		sc.Store = cfg.Store.WithDisk(sc.Disk)
+		st, err := cfg.Store.Fork(sc.Disk)
+		if err != nil {
+			closeForked(shardCfgs[:s])
+			return nil, fmt.Errorf("core: forking store for shard %d: %w", s, err)
+		}
+		sc.Store = st
 		sc.ownsBucket = func(b int) bool { return m.Owner(b) == s }
 		shardCfgs[s] = sc
 	}
-	return shardCfgs
+	return shardCfgs, nil
+}
+
+// closeForked releases the per-shard forked stores (segment sets opened
+// by forkConfigs); the template store stays with its owner.
+func closeForked(shardCfgs []Config) {
+	for _, sc := range shardCfgs {
+		if sc.Store != nil {
+			sc.Store.Close()
+		}
+	}
 }
 
 // mergeShardStats merges per-shard statistics into the aggregate view:

@@ -176,6 +176,28 @@ func (d *Disk) ReadProbes(n int) time.Duration {
 	return c
 }
 
+// AccountSequential records a real sequential read of n bytes that took
+// elapsed wall time: the statistics advance exactly as ReadSequential's
+// would, but nothing is charged to the clock — the time already passed
+// while the I/O blocked. The file-backed bucket store reports its reads
+// this way, so RunStats.Disk counts I/O identically across backends.
+func (d *Disk) AccountSequential(n int64, elapsed time.Duration) {
+	d.mu.Lock()
+	d.stats.SeqReads++
+	d.stats.SeqBytes += n
+	d.stats.BusyTime += elapsed
+	d.mu.Unlock()
+}
+
+// AccountProbes records n real index probes that took elapsed wall
+// time, without charging the clock (see AccountSequential).
+func (d *Disk) AccountProbes(n int, elapsed time.Duration) {
+	d.mu.Lock()
+	d.stats.Probes += int64(n)
+	d.stats.BusyTime += elapsed
+	d.mu.Unlock()
+}
+
 // ReadRandom charges the cost of n isolated random page reads — the
 // access pattern of SkyQuery's pre-LifeRaft, index-only cross-match, where
 // repeated unsorted index traversals touch scattered pages.

@@ -125,6 +125,16 @@ type NodeConfig struct {
 	// engine (see internal/server). MatchRequest.Tenant selects the
 	// tenant; rejected queries surface *server.OverloadError.
 	Serving *server.Config
+	// DataDir, when non-empty, serves this node's buckets from the
+	// segment store under it (built beforehand; see segment.Ensure and
+	// skygen -write-segments) instead of the analytic disk model. The
+	// engine then does real I/O on the real clock, so Clock must be nil
+	// or the real clock.
+	DataDir string
+	// ObjectBytes is the on-disk size per object for the node's
+	// partition (0 = the paper's 4 KiB). A file-backed node's segment
+	// store must have been written with the same value.
+	ObjectBytes int64
 }
 
 // Node is one archive site: a catalog, its bucket partition, and a live
@@ -134,6 +144,7 @@ type Node struct {
 	name    string
 	cat     *catalog.Catalog
 	part    *bucket.Partition
+	store   *bucket.Store // closed on Close (releases a file backend)
 	engine  *core.Live
 	serving *server.Server // nil without NodeConfig.Serving
 
@@ -149,7 +160,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ObjectsPerBucket <= 0 {
 		return nil, fmt.Errorf("federation: ObjectsPerBucket must be positive")
 	}
-	part, err := bucket.NewPartition(cfg.Catalog, cfg.ObjectsPerBucket, 0)
+	part, err := bucket.NewPartition(cfg.Catalog, cfg.ObjectsPerBucket, cfg.ObjectBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -157,20 +168,33 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if clk == nil {
 		clk = simclock.Real{}
 	}
-	ecfg := core.NewOn(part, cfg.Alpha, true, clk)
+	var ecfg core.Config
+	if cfg.DataDir != "" {
+		if _, virtual := clk.(*simclock.Virtual); virtual {
+			return nil, fmt.Errorf("federation: DataDir does real I/O and needs the real clock, not a virtual one")
+		}
+		ecfg, err = core.NewFileBacked(part, cfg.Alpha, true, cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ecfg = core.NewOn(part, cfg.Alpha, true, clk)
+	}
 	if cfg.CacheBuckets > 0 {
 		ecfg.CacheBuckets = cfg.CacheBuckets
 	}
 	ecfg.Shards = cfg.Shards
 	eng, err := core.NewLive(ecfg)
 	if err != nil {
+		ecfg.Store.Close()
 		return nil, err
 	}
-	n := &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, engine: eng}
+	n := &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, store: ecfg.Store, engine: eng}
 	if cfg.Serving != nil {
 		srv, err := server.New(eng, *cfg.Serving)
 		if err != nil {
 			eng.Close()
+			ecfg.Store.Close()
 			return nil, err
 		}
 		n.serving = srv
@@ -178,13 +202,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
-// Close drains the serving layer (if any), then shuts the node's engine
-// down after draining.
+// Close drains the serving layer (if any), shuts the node's engine down
+// after draining, then releases the store (a file-backed node's segment
+// handles).
 func (n *Node) Close() error {
 	if n.serving != nil {
 		n.serving.Close()
 	}
-	return n.engine.Close()
+	err := n.engine.Close()
+	if cerr := n.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Serving returns the node's serving layer, nil for nodes built without

@@ -14,7 +14,11 @@ import (
 // Summary describes a sample of non-negative values (typically response
 // times in seconds).
 type Summary struct {
-	Count int
+	// Count is the number of observed values. int64, not int: reservoir
+	// summaries count every observation ever made (billions over a
+	// long-lived tenant), not just the retained sample, and the old int
+	// truncated that on 32-bit platforms.
+	Count int64
 	Mean  float64
 	Min   float64
 	Max   float64
@@ -33,7 +37,7 @@ func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	s := Summary{Count: int64(len(xs)), Min: math.Inf(1), Max: math.Inf(-1)}
 	var sum float64
 	for _, x := range xs {
 		sum += x

@@ -62,7 +62,7 @@ func (r *Reservoir) Summary() Summary {
 		return Summary{}
 	}
 	s := Summarize(r.vals)
-	s.Count = int(r.seen)
+	s.Count = r.seen
 	s.Mean = r.total / float64(r.seen)
 	s.Min = r.min
 	s.Max = r.max

@@ -1,0 +1,291 @@
+package segment
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/catalog"
+)
+
+// Set is an opened segment directory: the manifest plus one pread
+// handle per segment file. Reads are safe for concurrent use (ReadAt
+// carries no seek state); Close is not safe concurrently with reads.
+type Set struct {
+	dir  string
+	man  manifest
+	segs []*segFile
+	// bucketSeg[i] is the segment serving global bucket i; buckets are
+	// grouped contiguously, so this is i / BucketsPerSegment, kept as a
+	// table anyway so the lookup cannot drift from the files.
+	bucketSeg []int
+}
+
+// segFile is one opened segment file with its decoded index.
+type segFile struct {
+	f       *os.File
+	hdr     header
+	entries []indexEntry
+}
+
+// OpenSet opens the segment directory at dir: it reads the manifest,
+// opens every segment file, and verifies each header and index
+// checksum. Bucket data checksums are verified on read.
+func OpenSet(dir string) (*Set, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("segment: %s has no %s (not a segment directory, or an interrupted build)", dir, ManifestName)
+		}
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("segment: corrupt manifest in %s: %w", dir, err)
+	}
+	if man.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("segment: %s is format version %d (reader supports %d)", dir, man.FormatVersion, FormatVersion)
+	}
+	// A manifest that parses but carries nonsense geometry must fail
+	// like any other corruption, not panic allocating the lookup table.
+	const maxBuckets = 1 << 30
+	switch {
+	case man.NumBuckets < 0 || man.NumBuckets > maxBuckets:
+		return nil, fmt.Errorf("segment: corrupt manifest in %s: num_buckets %d", dir, man.NumBuckets)
+	case man.PerBucket <= 0:
+		return nil, fmt.Errorf("segment: corrupt manifest in %s: per_bucket %d", dir, man.PerBucket)
+	case man.ObjectBytes < RecordBytes:
+		return nil, fmt.Errorf("segment: corrupt manifest in %s: object_bytes %d below record size %d", dir, man.ObjectBytes, RecordBytes)
+	case man.TotalObjects < 0:
+		return nil, fmt.Errorf("segment: corrupt manifest in %s: total_objects %d", dir, man.TotalObjects)
+	case len(man.Segments) > man.NumBuckets && man.NumBuckets > 0:
+		return nil, fmt.Errorf("segment: corrupt manifest in %s: %d segments for %d buckets", dir, len(man.Segments), man.NumBuckets)
+	}
+	s := &Set{dir: dir, man: man, bucketSeg: make([]int, man.NumBuckets)}
+	next := 0
+	for si, name := range man.Segments {
+		sf, err := openSegFile(filepath.Join(dir, name))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("segment: %s: %w", name, err)
+		}
+		// Appended before validation so every error path below releases
+		// this file's descriptor through s.Close().
+		s.segs = append(s.segs, sf)
+		if int(sf.hdr.firstBucket) != next {
+			s.Close()
+			return nil, fmt.Errorf("segment: %s covers buckets from %d, want %d (gap or reorder)", name, sf.hdr.firstBucket, next)
+		}
+		if int64(sf.hdr.objectBytes) != man.ObjectBytes {
+			s.Close()
+			return nil, fmt.Errorf("segment: %s stride %d disagrees with manifest %d", name, sf.hdr.objectBytes, man.ObjectBytes)
+		}
+		for b := 0; b < int(sf.hdr.numBuckets); b++ {
+			if next >= man.NumBuckets {
+				s.Close()
+				return nil, fmt.Errorf("segment: %s extends past manifest's %d buckets", name, man.NumBuckets)
+			}
+			s.bucketSeg[next] = si
+			next++
+		}
+	}
+	if next != man.NumBuckets {
+		s.Close()
+		return nil, fmt.Errorf("segment: directory covers %d buckets, manifest says %d", next, man.NumBuckets)
+	}
+	return s, nil
+}
+
+// openSegFile opens and verifies one segment file's header and index.
+func openSegFile(path string) (*segFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hb := make([]byte, BlockSize)
+	if _, err := f.ReadAt(hb, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	hdr, err := unmarshalHeader(hb)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	indexBytes := alignUp(int64(hdr.numBuckets) * indexEntryBytes)
+	ib := make([]byte, indexBytes)
+	if _, err := f.ReadAt(ib, BlockSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("reading index: %w", err)
+	}
+	if sum := crc32.Checksum(ib, castagnoli); sum != hdr.indexCRC {
+		f.Close()
+		return nil, fmt.Errorf("index checksum mismatch")
+	}
+	sf := &segFile{f: f, hdr: hdr, entries: make([]indexEntry, hdr.numBuckets)}
+	for i := range sf.entries {
+		sf.entries[i] = getIndexEntry(ib[i*indexEntryBytes:])
+	}
+	return sf, nil
+}
+
+// Dir returns the directory the set was opened from.
+func (s *Set) Dir() string { return s.dir }
+
+// NumBuckets returns the number of buckets the set serves.
+func (s *Set) NumBuckets() int { return s.man.NumBuckets }
+
+// ObjectBytes returns the on-disk record stride.
+func (s *Set) ObjectBytes() int64 { return s.man.ObjectBytes }
+
+// Geometry describes the store's recorded layout and catalog
+// provenance, from the manifest.
+type Geometry struct {
+	// Catalog is the archive name the store was built from.
+	Catalog string
+	// TotalObjects, NumBuckets, PerBucket, and ObjectBytes are the
+	// partition geometry.
+	TotalObjects int64
+	NumBuckets   int
+	PerBucket    int
+	ObjectBytes  int64
+	// GenLevel and Seed identify a base survey's content exactly;
+	// Derived marks a store whose catalog additionally depends on a
+	// base survey (so Seed alone cannot re-synthesize it).
+	GenLevel int
+	Seed     int64
+	Derived  bool
+}
+
+// Geometry returns the store's recorded geometry, letting a tool that
+// holds only the directory rebuild the matching catalog and partition
+// (for a non-Derived store).
+func (s *Set) Geometry() Geometry {
+	return Geometry{
+		Catalog:      s.man.Catalog,
+		TotalObjects: s.man.TotalObjects,
+		NumBuckets:   s.man.NumBuckets,
+		PerBucket:    s.man.PerBucket,
+		ObjectBytes:  s.man.ObjectBytes,
+		GenLevel:     s.man.GenLevel,
+		Seed:         s.man.Seed,
+		Derived:      s.man.Derived,
+	}
+}
+
+// Validate checks the set's recorded geometry and provenance against a
+// partition; a store built for a different catalog, bucket size, or
+// object stride — or from a different seed or materialization level,
+// which would serve geometrically-plausible but wrong objects — is
+// rejected before the engine reads a single wrong byte.
+func (s *Set) Validate(part *bucket.Partition) error {
+	cat := part.Catalog()
+	switch {
+	case s.man.NumBuckets != part.NumBuckets():
+		return fmt.Errorf("segment: %s holds %d buckets, partition has %d", s.dir, s.man.NumBuckets, part.NumBuckets())
+	case s.man.PerBucket != part.PerBucket():
+		return fmt.Errorf("segment: %s built for %d objects/bucket, partition uses %d", s.dir, s.man.PerBucket, part.PerBucket())
+	case s.man.ObjectBytes != part.ObjectBytes():
+		return fmt.Errorf("segment: %s built with %d-byte objects, partition uses %d", s.dir, s.man.ObjectBytes, part.ObjectBytes())
+	case s.man.TotalObjects != int64(cat.Total()):
+		return fmt.Errorf("segment: %s holds %d objects, catalog has %d", s.dir, s.man.TotalObjects, cat.Total())
+	case s.man.Catalog != cat.Name():
+		return fmt.Errorf("segment: %s built from catalog %q, partition is over %q", s.dir, s.man.Catalog, cat.Name())
+	case s.man.Seed != cat.Seed():
+		return fmt.Errorf("segment: %s built from seed %d, catalog uses %d", s.dir, s.man.Seed, cat.Seed())
+	case s.man.GenLevel != cat.GenLevel():
+		return fmt.Errorf("segment: %s built at materialization level %d, catalog uses %d", s.dir, s.man.GenLevel, cat.GenLevel())
+	case s.man.Derived != cat.Derived():
+		return fmt.Errorf("segment: %s derived=%v, catalog derived=%v", s.dir, s.man.Derived, cat.Derived())
+	}
+	return nil
+}
+
+// entry resolves global bucket i to its segment file and index entry.
+func (s *Set) entry(i int) (*segFile, indexEntry, error) {
+	if i < 0 || i >= len(s.bucketSeg) {
+		return nil, indexEntry{}, fmt.Errorf("segment: bucket %d out of [0,%d)", i, len(s.bucketSeg))
+	}
+	sf := s.segs[s.bucketSeg[i]]
+	return sf, sf.entries[i-int(sf.hdr.firstBucket)], nil
+}
+
+// ReadBucketRaw preads bucket i's full data region and verifies its
+// checksum, returning the raw records and the number of data bytes
+// read. This is the real sequential bucket scan.
+func (s *Set) ReadBucketRaw(i int) ([]byte, int64, error) {
+	sf, e, err := s.entry(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, e.length)
+	if len(buf) == 0 {
+		return buf, 0, nil
+	}
+	if _, err := sf.f.ReadAt(buf, int64(e.offset)); err != nil {
+		return nil, 0, fmt.Errorf("segment: bucket %d pread: %w", i, err)
+	}
+	if sum := crc32.Checksum(buf, castagnoli); sum != e.crc {
+		return nil, 0, fmt.Errorf("segment: bucket %d data checksum mismatch (corrupt store)", i)
+	}
+	return buf, int64(e.length), nil
+}
+
+// ReadBucket is ReadBucketRaw plus decoding: the bucket's objects in
+// HTM-curve order, bit-identical to what the catalog materializes.
+func (s *Set) ReadBucket(i int) ([]catalog.Object, int64, error) {
+	buf, n, err := s.ReadBucketRaw(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	stride := int(s.man.ObjectBytes)
+	objs := make([]catalog.Object, len(buf)/stride)
+	for j := range objs {
+		objs[j] = decodeObject(buf[j*stride:])
+	}
+	return objs, n, nil
+}
+
+// ReadPages preads up to n BlockSize pages from the head of bucket i's
+// data region — the I/O an index probe pass issues — and returns the
+// bytes actually read. Partial reads skip the checksum (it covers the
+// full region); scans verify it.
+func (s *Set) ReadPages(i, n int) (int64, error) {
+	sf, e, err := s.entry(i)
+	if err != nil {
+		return 0, err
+	}
+	want := int64(n) * BlockSize
+	if want > int64(e.length) {
+		want = int64(e.length)
+	}
+	if want <= 0 {
+		return 0, nil
+	}
+	buf := make([]byte, want)
+	if _, err := sf.f.ReadAt(buf, int64(e.offset)); err != nil {
+		return 0, fmt.Errorf("segment: bucket %d probe pread: %w", i, err)
+	}
+	return want, nil
+}
+
+// Reopen opens an independent Set over the same directory (fresh file
+// descriptors). Sharded engines give each shard its own.
+func (s *Set) Reopen() (*Set, error) { return OpenSet(s.dir) }
+
+// Close releases every file handle. Safe to call more than once.
+func (s *Set) Close() error {
+	var first error
+	for _, sf := range s.segs {
+		if sf.f != nil {
+			if err := sf.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sf.f = nil
+		}
+	}
+	return first
+}

@@ -18,12 +18,69 @@ type fairQueue struct {
 }
 
 type flow struct {
-	name     string
-	weight   int64
+	name   string
+	weight int64
+	// queue[head:] is the flow's FIFO. Pops advance head instead of
+	// re-slicing from the front: a front re-slice (queue = queue[1:])
+	// keeps the full backing array reachable forever, so one burst from
+	// a tenant would pin its peak allocation for the flow's lifetime.
+	// popFront compacts and shrinks as the queue drains (see
+	// flowShrinkCap).
 	queue    []*pending
+	head     int
 	deficit  int64
 	credited bool // deficit already granted for the current visit
 	active   bool // in the ring
+}
+
+// flowShrinkCap bounds the backing array a drained (or mostly drained)
+// flow may retain: above it, popFront releases the array instead of
+// recycling it. 32 pointers is one cache line of queue for a tenant's
+// steady state.
+const flowShrinkCap = 32
+
+// size returns the number of queued jobs.
+func (fl *flow) size() int { return len(fl.queue) - fl.head }
+
+// front returns the head job without removing it.
+func (fl *flow) front() *pending { return fl.queue[fl.head] }
+
+// popFront removes and returns the head job, keeping the retained
+// backing array bounded: the dead prefix is compacted away once it
+// dominates the live tail, and an array left mostly (or entirely)
+// slack is released rather than recycled.
+func (fl *flow) popFront() *pending {
+	p := fl.queue[fl.head]
+	fl.queue[fl.head] = nil // release the reference
+	fl.head++
+	rem := fl.size()
+	if rem == 0 {
+		fl.head = 0
+		if cap(fl.queue) > flowShrinkCap {
+			fl.queue = nil
+		} else {
+			fl.queue = fl.queue[:0]
+		}
+		return p
+	}
+	if fl.head > flowShrinkCap && fl.head >= rem {
+		if cap(fl.queue) > flowShrinkCap && cap(fl.queue) > 4*rem {
+			// Mostly slack: move the live tail to a right-sized array.
+			q := make([]*pending, rem)
+			copy(q, fl.queue[fl.head:])
+			fl.queue = q
+		} else {
+			// Slide the live tail down over the dead prefix.
+			n := copy(fl.queue, fl.queue[fl.head:])
+			tail := fl.queue[n:]
+			for i := range tail {
+				tail[i] = nil
+			}
+			fl.queue = fl.queue[:n]
+		}
+		fl.head = 0
+	}
+	return p
 }
 
 func newFairQueue(quantum int) *fairQueue {
@@ -85,13 +142,11 @@ func (f *fairQueue) pop() *pending {
 			fl.deficit += f.quantum * fl.weight
 			fl.credited = true
 		}
-		if cost := jobCost(fl.queue[0]); cost <= fl.deficit {
-			p := fl.queue[0]
-			fl.queue[0] = nil // release the reference
-			fl.queue = fl.queue[1:]
+		if cost := jobCost(fl.front()); cost <= fl.deficit {
+			p := fl.popFront()
 			fl.deficit -= cost
 			f.queued--
-			if len(fl.queue) == 0 {
+			if fl.size() == 0 {
 				// An emptied flow leaves the ring and forfeits its
 				// deficit: credit must not accumulate while idle.
 				fl.active = false

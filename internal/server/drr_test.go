@@ -128,3 +128,53 @@ func TestFairQueueIdleFlowForfeitsDeficit(t *testing.T) {
 		t.Errorf("deficit after exact-cost pop = %d, want 0", fl.deficit)
 	}
 }
+
+// Regression: pop used to head-pop with queue = queue[1:], which keeps
+// the burst's full backing array reachable for the flow's lifetime. A
+// drained burst must leave only a bounded backing array behind, and a
+// mostly-drained one must not retain its peak allocation.
+func TestFairQueuePopBoundsRetainedCapacity(t *testing.T) {
+	const burst = 50_000
+	fq := newFairQueue(4)
+	fl := fq.flowFor("bursty", 1)
+	for i := 0; i < burst; i++ {
+		fq.push(fl, mkPending(uint64(i), 1))
+	}
+	if cap(fl.queue) < burst {
+		t.Fatalf("setup: burst did not grow the queue (cap %d)", cap(fl.queue))
+	}
+
+	// Drain to a small live tail: the backing array must shrink with
+	// the queue instead of staying at burst size.
+	for i := 0; i < burst-10; i++ {
+		fq.pop()
+	}
+	if fl.size() != 10 {
+		t.Fatalf("live tail = %d, want 10", fl.size())
+	}
+	if c := cap(fl.queue); c > 4*flowShrinkCap {
+		t.Errorf("after draining to 10 live jobs, retained cap = %d, want <= %d", c, 4*flowShrinkCap)
+	}
+
+	// Full drain: the burst array must be gone entirely.
+	for fl.size() > 0 {
+		fq.pop()
+	}
+	if c := cap(fl.queue); c > flowShrinkCap {
+		t.Errorf("after full drain, retained cap = %d, want <= %d", c, flowShrinkCap)
+	}
+	if !fq.empty() {
+		t.Error("queue should be empty")
+	}
+
+	// The flow must still work after shrinking: order preserved across
+	// a compaction boundary.
+	for i := 0; i < 100; i++ {
+		fq.push(fl, mkPending(uint64(i), 1))
+	}
+	for i := 0; i < 100; i++ {
+		if p := fq.pop(); p.job.ID != uint64(i) {
+			t.Fatalf("post-shrink pop = %d, want %d", p.job.ID, i)
+		}
+	}
+}

@@ -43,13 +43,29 @@ func (b *tokenBucket) take(n float64, now time.Time) bool {
 	return true
 }
 
+// maxWait caps the Retry-After hint. The float seconds-to-duration
+// conversion below overflows time.Duration for tiny configured rates
+// (deficit/rate can exceed 2^63 nanoseconds, flipping the hint
+// negative), and a client can do nothing useful with an hours-long hint
+// anyway — an hour is already "come back much later".
+const maxWait = time.Hour
+
 // wait returns how long until n tokens will have accrued — the
-// Retry-After hint handed to a rate-limited tenant.
+// Retry-After hint handed to a rate-limited tenant. The hint is clamped
+// to [0, maxWait]: it must never be negative or garbage, whatever the
+// configured rate.
 func (b *tokenBucket) wait(n float64, now time.Time) time.Duration {
 	b.refill(now)
 	deficit := n - b.tokens
 	if deficit <= 0 {
 		return 0
 	}
-	return time.Duration(deficit / b.rate * float64(time.Second))
+	sec := deficit / b.rate
+	// Compare in float seconds: converting first would overflow the
+	// integer nanosecond representation for tiny rates (NaN and ±Inf
+	// from a zero or invalid rate land here too, via !(x < y)).
+	if !(sec < maxWait.Seconds()) {
+		return maxWait
+	}
+	return time.Duration(sec * float64(time.Second))
 }

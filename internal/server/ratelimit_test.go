@@ -52,3 +52,33 @@ func TestTokenBucketBurstClamp(t *testing.T) {
 		t.Errorf("burst clamped to %v, want 1", b.burst)
 	}
 }
+
+// Regression: with a tiny configured rate, deficit/rate*1e9 exceeds the
+// int64 nanosecond range and the unclamped conversion produced a
+// negative Retry-After. The hint must stay in [0, maxWait] for any
+// rate.
+func TestTokenBucketWaitClamped(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, rate := range []float64{1e-12, 1e-6, 0.001, 0} {
+		b := newTokenBucket(rate, 1)
+		if !b.take(1, t0) {
+			t.Fatalf("rate %v: initial token not admitted", rate)
+		}
+		w := b.wait(1, t0)
+		if w < 0 {
+			t.Errorf("rate %v: wait = %v, negative Retry-After leaked", rate, w)
+		}
+		if w > maxWait {
+			t.Errorf("rate %v: wait = %v exceeds clamp %v", rate, w, maxWait)
+		}
+		if w == 0 {
+			t.Errorf("rate %v: wait = 0 for an empty bucket", rate)
+		}
+	}
+	// Sane rates still get the exact hint, not the clamp.
+	b := newTokenBucket(2, 1)
+	b.take(1, t0)
+	if w := b.wait(1, t0); w != 500*time.Millisecond {
+		t.Errorf("wait = %v, want 500ms", w)
+	}
+}

@@ -311,7 +311,7 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<
 	// Queue depth first: a queue-full rejection must not spend a rate
 	// token, or a tenant retrying against a draining queue would be
 	// double-penalized below its configured rate.
-	if len(t.flow.queue) >= t.depth {
+	if t.flow.size() >= t.depth {
 		t.rejectedQueue++
 		retry := 500 * time.Millisecond // advisory: roughly one service
 		if t.bucket != nil {
@@ -465,7 +465,7 @@ func (s *Server) Stats() Stats {
 			Completed:     t.completed,
 			Cancelled:     t.cancelled,
 			Failed:        t.failed,
-			Queued:        len(t.flow.queue),
+			Queued:        t.flow.size(),
 			InFlight:      t.inFlight,
 			RespTime:      t.resp.Summary(),
 		}

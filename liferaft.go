@@ -79,6 +79,26 @@
 // stats on /v1/stats. See examples/multitenant for the fairness demo and
 // README.md for the daemon walkthrough.
 //
+// # Persistent storage
+//
+// The paper reproduction serves every bucket from the analytic disk
+// model; the segment store makes the same engine run against real
+// disks. WriteSegments (or skygen -write-segments) materializes a
+// partition into checksummed, versioned segment files; a Store built by
+// NewFileBackedConfig serves buckets from them with pread-based real
+// I/O on the real clock, recording measured read times in the disk
+// statistics. Sharded engines open one segment set per shard, and
+// federation nodes take FedNodeConfig.DataDir (liferaftd -data-dir). A
+// parity test proves the file backend makes bit-identical scheduling
+// decisions to the simulated disk on the golden traces.
+//
+//	set, _, err := liferaft.EnsureSegments("/var/lib/liferaft/sdss", part, liferaft.SegmentWriteOptions{})
+//	cfg, err := liferaft.NewFileBackedConfigFrom(part, 0.25, true, set) // takes ownership of set
+//	defer cfg.Store.Close()
+//	results, stats, _ := liferaft.Run(cfg, jobs, offsets) // stats.Disk measured, not modeled
+//
+// See examples/persist and internal/segment/DESIGN-segments.md.
+//
 // # Contributing
 //
 // See README.md for a repository overview. CI (.github/workflows/ci.yml)
@@ -89,6 +109,7 @@
 //	gofmt -l .            # must print nothing
 //	go test -shuffle=on ./...
 //	go test -race ./internal/core/... ./internal/shard/... ./internal/federation/... ./internal/server/...
+//	go test -race -run 'TestBackendParity' ./internal/core/   # file backend == simulated disk
 //	go test -bench=. -benchtime=1x -run='^$' ./...
 //
 // Keep all of them green locally before sending a change.
@@ -108,6 +129,7 @@ import (
 	"liferaft/internal/geom"
 	"liferaft/internal/htm"
 	"liferaft/internal/metrics"
+	"liferaft/internal/segment"
 	"liferaft/internal/server"
 	"liferaft/internal/shard"
 	"liferaft/internal/simclock"
@@ -278,12 +300,49 @@ type (
 	Partition = bucket.Partition
 	// Bucket is one equal-sized partition.
 	Bucket = bucket.Bucket
-	// Store serves buckets from the modeled disk.
+	// Store serves buckets from the modeled disk or a real backend.
 	Store = bucket.Store
+	// StoreBackend is the pluggable storage layer under a Store; the
+	// segment package provides the real-I/O file implementation.
+	StoreBackend = bucket.Backend
 	// DiskModel is the analytic seek/rotate/transfer cost model.
 	DiskModel = disk.Model
 	// Disk charges model costs to a clock and tracks statistics.
 	Disk = disk.Disk
+	// SegmentSet is an opened on-disk segment directory.
+	SegmentSet = segment.Set
+	// SegmentWriteOptions tunes segment building.
+	SegmentWriteOptions = segment.WriteOptions
+	// SegmentWriteStats reports what a segment build produced.
+	SegmentWriteStats = segment.WriteStats
+	// BackendKind names a storage backend (BackendSim or BackendFile).
+	BackendKind = core.BackendKind
+)
+
+// Storage backends for Config.Backend.
+const (
+	// BackendSim serves buckets from the analytic disk model (default).
+	BackendSim = core.BackendSim
+	// BackendFile serves buckets from segment files with real I/O.
+	BackendFile = core.BackendFile
+)
+
+var (
+	// WriteSegments materializes a partition into segment files.
+	WriteSegments = segment.Write
+	// EnsureSegments opens a segment directory, building it if missing.
+	EnsureSegments = segment.Ensure
+	// OpenSegments opens an existing segment directory.
+	OpenSegments = segment.OpenSet
+	// NewSegmentBackend adapts an opened segment set to a StoreBackend.
+	NewSegmentBackend = segment.NewBackend
+	// NewFileBackedConfig builds the real-I/O engine stack over a
+	// segment directory (real clock, measured read costs).
+	NewFileBackedConfig = core.NewFileBacked
+	// NewFileBackedConfigFrom is NewFileBackedConfig over an
+	// already-opened segment set (e.g. the one EnsureSegments
+	// returned), taking ownership of it.
+	NewFileBackedConfigFrom = core.NewFileBackedFrom
 )
 
 var (
@@ -429,6 +488,8 @@ var (
 	// FromRaDec and ToRaDec convert equatorial coordinates.
 	FromRaDec = geom.FromRaDec
 	ToRaDec   = geom.ToRaDec
+	// Radians converts degrees to radians.
+	Radians = geom.Radians
 	// ArcsecToRad converts cross-match radii.
 	ArcsecToRad = geom.ArcsecToRad
 	// NewCap builds a sky region.
