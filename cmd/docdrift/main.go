@@ -1,0 +1,142 @@
+// Command docdrift is the CI gate that keeps docs/OPERATIONS.md — the
+// operator's manual — in lockstep with the code it documents. It
+// cross-checks two inventories against the manual:
+//
+//   - every command-line flag registered in cmd/*/main.go must appear
+//     as `-name` in the manual;
+//   - every metric family name (a double-quoted "liferaft_*" literal in
+//     non-test Go source, i.e. a registration site) must appear
+//     verbatim.
+//
+// Any undocumented flag or metric fails the run with a list of the
+// offenders and where they were registered, so adding a flag or a
+// metric without documenting it breaks the build rather than silently
+// aging the manual.
+//
+// Usage (from the repository root, as CI runs it):
+//
+//	go run ./cmd/docdrift
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+const manualPath = "docs/OPERATIONS.md"
+
+// flagRe matches a flag registration and captures the flag name: the
+// first string literal on the line of flag.String("name", ...) or
+// flag.StringVar(&target, "name", ...). Same-line only, so calls
+// without a literal (flag.Parse) cannot swallow a string from a later
+// line.
+var flagRe = regexp.MustCompile(`flag\.\w+\([^"\n]*"([^"\n]+)"`)
+
+// metricRe matches a double-quoted metric family name. Registration
+// sites quote the full name; scrape assertions in tests and harnesses
+// use backquoted series strings and are deliberately not matched.
+var metricRe = regexp.MustCompile(`"(liferaft_[a-z0-9_]+)"`)
+
+// site records where an identifier was found, for the failure message.
+type site struct{ file, name string }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "docdrift:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	manual, err := os.ReadFile(manualPath)
+	if err != nil {
+		return fmt.Errorf("reading the manual: %w (run from the repository root)", err)
+	}
+	doc := string(manual)
+
+	flags, err := collect("cmd", func(path string) bool {
+		// Skip this tool's own source: its regex literals would match.
+		return filepath.Base(path) == "main.go" &&
+			filepath.Base(filepath.Dir(path)) != "docdrift"
+	}, flagRe)
+	if err != nil {
+		return err
+	}
+	metrics, err := collectAll([]string{"cmd", "internal"}, func(path string) bool {
+		return !strings.HasSuffix(path, "_test.go")
+	}, metricRe)
+	if err != nil {
+		return err
+	}
+	if len(flags) == 0 || len(metrics) == 0 {
+		return fmt.Errorf("inventory came up empty (flags=%d, metrics=%d): the extraction regexes no longer match the source tree",
+			len(flags), len(metrics))
+	}
+
+	var missing []string
+	for _, f := range flags {
+		// Flags are documented backticked with their dash: `-rate-mode`.
+		if !strings.Contains(doc, "`-"+f.name+"`") {
+			missing = append(missing, fmt.Sprintf("flag -%s (registered in %s) is not documented as `-%s`", f.name, f.file, f.name))
+		}
+	}
+	for _, m := range metrics {
+		if !strings.Contains(doc, m.name) {
+			missing = append(missing, fmt.Sprintf("metric %s (registered in %s) is not documented", m.name, m.file))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, line := range missing {
+			fmt.Fprintln(os.Stderr, "docdrift:", line)
+		}
+		return fmt.Errorf("%d undocumented name(s) — add them to %s", len(missing), manualPath)
+	}
+	fmt.Printf("docdrift: %s covers all %d flags and %d metric families\n",
+		manualPath, len(flags), len(metrics))
+	return nil
+}
+
+// collect walks one root for files accepted by keep and returns every
+// first-group match of re, deduplicated by name.
+func collect(root string, keep func(string) bool, re *regexp.Regexp) ([]site, error) {
+	return collectAll([]string{root}, keep, re)
+}
+
+func collectAll(roots []string, keep func(string) bool, re *regexp.Regexp) ([]site, error) {
+	seen := map[string]string{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || !keep(path) {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+				if _, dup := seen[m[1]]; !dup {
+					seen[m[1]] = path
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("walking %s: %w", root, err)
+		}
+	}
+	out := make([]site, 0, len(seen))
+	for name, file := range seen {
+		out = append(out, site{file: file, name: name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}

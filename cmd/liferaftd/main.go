@@ -14,8 +14,13 @@
 //
 // Multi-tenant serving: -rate, -queue-depth, and -tenants put an admission
 // control + fair queueing layer in front of the engine; -http additionally
-// opens the gateway (POST /v1/query, GET /v1/stats, GET /healthz), which
-// executes SkyQL against this node and any -peers:
+// opens the gateway (POST /v1/query, GET /v1/stats, GET /metrics,
+// GET /healthz), which executes SkyQL against this node and any -peers.
+// By default admission rates are self-tuning (-rate-mode=adaptive): an
+// AIMD controller cuts backlogged tenants' rates when the engine's p99
+// breaches -slo-p99 and regrows them on headroom. -rate-mode=static keeps
+// the configured rates fixed. Every daemon exposes its full metric set in
+// Prometheus text format on /metrics (see docs/OPERATIONS.md):
 //
 //	liferaftd -archive sdss -addr 127.0.0.1:7701 \
 //	    -http 127.0.0.1:8080 -rate 50 -queue-depth 32 -tenants vip:4 \
@@ -49,8 +54,10 @@ import (
 
 	"liferaft/internal/bucket"
 	"liferaft/internal/catalog"
+	"liferaft/internal/core"
 	"liferaft/internal/federation"
 	"liferaft/internal/geom"
+	"liferaft/internal/metric"
 	"liferaft/internal/segment"
 	"liferaft/internal/server"
 	"liferaft/internal/simclock"
@@ -72,6 +79,8 @@ type options struct {
 	httpAddr    string
 	tenants     string
 	rate        float64
+	rateMode    string
+	sloP99      time.Duration
 	queueDepth  int
 	peers       string
 	dataDir     string
@@ -92,7 +101,9 @@ func main() {
 	flag.BoolVar(&o.virtual, "virtual-clock", true, "charge modeled I/O cost to a virtual clock (instant) instead of sleeping")
 	flag.StringVar(&o.httpAddr, "http", "", "HTTP gateway listen address (empty = disabled)")
 	flag.StringVar(&o.tenants, "tenants", "", "pre-registered tenants as name:weight pairs, e.g. vip:4,batch:1")
-	flag.Float64Var(&o.rate, "rate", 0, "per-tenant admission rate in queries/sec (0 = unlimited)")
+	flag.Float64Var(&o.rate, "rate", 0, "per-tenant admission rate in queries/sec (0 = unlimited; in adaptive mode, the AIMD regrowth ceiling)")
+	flag.StringVar(&o.rateMode, "rate-mode", "adaptive", "admission rate control: adaptive (AIMD self-tuning, the default) or static (rates stay as configured)")
+	flag.DurationVar(&o.sloP99, "slo-p99", 2*time.Second, "target p99 response time driving the adaptive rate controller")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-tenant pending-queue bound (0 = serving-layer default)")
 	flag.StringVar(&o.peers, "peers", "", "peer archives for gateway cross-matches as name=addr pairs")
 	flag.StringVar(&o.dataDir, "data-dir", "", "serve buckets from the segment store under this directory (real I/O; built on first start, implies -virtual-clock=false)")
@@ -125,6 +136,12 @@ func (o options) validate() error {
 	}
 	if o.rate < 0 {
 		return fmt.Errorf("-rate %v must be non-negative", o.rate)
+	}
+	if o.rateMode != string(server.RateAdaptive) && o.rateMode != string(server.RateStatic) {
+		return fmt.Errorf("-rate-mode %q must be adaptive or static", o.rateMode)
+	}
+	if o.sloP99 <= 0 {
+		return fmt.Errorf("-slo-p99 %v must be positive", o.sloP99)
 	}
 	if o.queueDepth < 0 {
 		return fmt.Errorf("-queue-depth %d must be non-negative", o.queueDepth)
@@ -195,7 +212,7 @@ func parsePeers(s string) (map[string]string, error) {
 // servingConfig builds the admission-control config when any serving flag
 // is set; nil keeps the node transparent (the pre-serving behaviour).
 // tenants is the already-parsed -tenants value.
-func (o options) servingConfig(tenants []server.TenantConfig) *server.Config {
+func (o options) servingConfig(tenants []server.TenantConfig, reg *metric.Registry) *server.Config {
 	if o.httpAddr == "" && o.rate == 0 && o.queueDepth == 0 && len(tenants) == 0 {
 		return nil
 	}
@@ -203,6 +220,9 @@ func (o options) servingConfig(tenants []server.TenantConfig) *server.Config {
 		DefaultRate: o.rate,
 		QueueDepth:  o.queueDepth,
 		Tenants:     tenants,
+		RateMode:    server.RateMode(o.rateMode),
+		SLOP99:      o.sloP99,
+		Registry:    reg,
 	}
 }
 
@@ -284,7 +304,8 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	serving := o.servingConfig(tenants)
+	reg := metric.NewRegistry()
+	serving := o.servingConfig(tenants, reg)
 	fmt.Printf("synthesizing archive %q (%d base objects, seed %d)...\n", o.archive, o.baseN, o.baseSeed)
 	cat, err := buildCatalog(o.archive, o.baseN, o.baseSeed, o.genLevel)
 	if err != nil {
@@ -322,6 +343,7 @@ func run(o options) error {
 		Catalog: cat, ObjectsPerBucket: o.perBucket,
 		Alpha: o.alpha, CacheBuckets: o.cache, Shards: o.shards, Clock: clk,
 		Serving: serving, DataDir: o.dataDir, ObjectBytes: o.objectBytes,
+		Metrics: core.NewEngineMetrics(reg),
 	})
 	if err != nil {
 		return err
@@ -343,8 +365,9 @@ func run(o options) error {
 			portal.Register(name, federation.Dial(addr))
 		}
 		gw, err := server.NewGateway(server.GatewayConfig{
-			Exec:   gatewayExec(portal),
-			Server: node.Serving(),
+			Exec:     gatewayExec(portal),
+			Server:   node.Serving(),
+			Registry: reg,
 		})
 		if err != nil {
 			return err
@@ -365,7 +388,7 @@ func run(o options) error {
 				fmt.Fprintf(os.Stderr, "liferaftd: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("HTTP gateway on %s (/v1/query, /v1/stats, /healthz)\n", o.httpAddr)
+		fmt.Printf("HTTP gateway on %s (/v1/query, /v1/stats, /metrics, /healthz)\n", o.httpAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 )
 
 // defaults mirrors the flag defaults for the validation table test.
@@ -9,6 +10,7 @@ func defaultOptions() options {
 	return options{
 		archive: "sdss", addr: "127.0.0.1:7701", baseN: 200_000, baseSeed: 42,
 		genLevel: 5, perBucket: 500, alpha: 0.25, cache: 20, shards: 1, virtual: true,
+		rateMode: "adaptive", sloP99: 2 * time.Second,
 	}
 }
 
@@ -42,6 +44,9 @@ func TestValidateFlags(t *testing.T) {
 		{"data-dir with stride", func(o *options) { o.dataDir = "/tmp/lfseg"; o.objectBytes = 256 }, true},
 		{"object-bytes negative", func(o *options) { o.dataDir = "/tmp/lfseg"; o.objectBytes = -1 }, false},
 		{"object-bytes without data-dir", func(o *options) { o.objectBytes = 256 }, false},
+		{"rate-mode static", func(o *options) { o.rateMode = "static" }, true},
+		{"rate-mode bogus", func(o *options) { o.rateMode = "turbo" }, false},
+		{"slo-p99 zero", func(o *options) { o.sloP99 = 0 }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -71,16 +76,16 @@ func TestParseTenants(t *testing.T) {
 
 func TestServingConfigGating(t *testing.T) {
 	o := defaultOptions()
-	if cfg := o.servingConfig(nil); cfg != nil {
+	if cfg := o.servingConfig(nil, nil); cfg != nil {
 		t.Errorf("default flags should not enable the serving layer (cfg=%v)", cfg)
 	}
 	o.httpAddr = "127.0.0.1:0"
-	if cfg := o.servingConfig(nil); cfg == nil {
+	if cfg := o.servingConfig(nil, nil); cfg == nil {
 		t.Error("-http should enable the serving layer")
 	}
 	o = defaultOptions()
 	o.rate = 25
-	if cfg := o.servingConfig(nil); cfg == nil || cfg.DefaultRate != 25 {
+	if cfg := o.servingConfig(nil, nil); cfg == nil || cfg.DefaultRate != 25 {
 		t.Errorf("-rate should enable the serving layer (cfg=%+v)", cfg)
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	skybench [-scale ci|mid|paper] [-exp all|fig2|fig4|fig5|fig6|fig7|fig8|indexonly|cache|ablations]
 //	skybench -bench-json BENCH_4.json [-data-dir DIR]
+//	skybench -overload BENCH_5.json
 //
 // Examples:
 //
@@ -14,6 +15,10 @@
 //	    # scheduler perf snapshot for the trajectory, plus qps measured
 //	    # against actual disks via the segment store under -data-dir
 //	    # (built there on first use)
+//	skybench -overload BENCH_5.json
+//	    # serving-layer overload scenarios (flash crowd in adaptive and
+//	    # static rate modes, diurnal ramp, slow loris, 1k-tenant churn)
+//	    # with per-scenario SLO verdicts; exits nonzero on any failure
 package main
 
 import (
@@ -39,8 +44,16 @@ func main() {
 	shards := flag.Int("shards", 1, "disk/worker shards per engine (1 = the paper's single disk)")
 	benchJSON := flag.String("bench-json", "", "measure the scheduler hot path (vqps, picks/sec, allocs/op), print an old-vs-new comparison, write the snapshot to this file, and exit")
 	dataDir := flag.String("data-dir", "", "with -bench-json: also replay a trace against the real-I/O segment store under this directory (built there on first use)")
+	overloadJSON := flag.String("overload", "", "run the serving-layer overload scenarios, write per-scenario SLO verdicts to this file, and exit (nonzero on any failed verdict)")
 	flag.Parse()
 
+	if *overloadJSON != "" {
+		if err := runOverload(*overloadJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *dataDir); err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)

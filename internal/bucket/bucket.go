@@ -181,6 +181,34 @@ type Backend interface {
 	Close() error
 }
 
+// ReadKind tells a Store observer which access pattern a read used.
+type ReadKind string
+
+// Store read kinds.
+const (
+	// ReadScan: a full sequential scan of a bucket's data region.
+	ReadScan ReadKind = "scan"
+	// ReadProbe: index probes into a bucket's block run.
+	ReadProbe ReadKind = "probe"
+)
+
+// Observer receives a callback per Store read — the hook the engine's
+// metrics layer uses to export store/segment read latency and read
+// errors without the Store depending on any metrics package. Observers
+// must be safe for use from the single scheduling goroutine that owns
+// the Store and must not block: they run on the service path.
+type Observer interface {
+	// ObserveRead reports one completed read: the access kind and its
+	// elapsed cost — measured wall time on a real backend, modeled cost
+	// on the simulated disk.
+	ObserveRead(kind ReadKind, elapsed time.Duration)
+	// ObserveReadError reports a failed backend read (checksum mismatch,
+	// vanished file) just before the Store's fail-stop panic; it gives
+	// the error a chance to reach a metrics scrape or log before the
+	// process dies.
+	ObserveReadError(kind ReadKind, err error)
+}
+
 // Store serves buckets from the modeled disk, charging sequential-scan
 // cost for full bucket reads and sorted-probe cost for indexed access.
 // The cache layer sits above the store (see the engine); every Store read
@@ -194,7 +222,14 @@ type Store struct {
 	// checksum mismatch or vanished file panics rather than silently
 	// serving wrong matches. DESIGN-segments.md discusses the trade.
 	backend Backend
+	// obs, when non-nil, is notified of every read; see Observer.
+	obs Observer
 }
+
+// SetObserver attaches o to the store (nil detaches). The engine wires
+// its per-shard metrics here; stores forked for shards each get their
+// own observer.
+func (s *Store) SetObserver(o Observer) { s.obs = o }
 
 // NewStore builds a store over a partition. If materialize is false, reads
 // charge I/O cost but return no objects — the cost-accurate mode used by
@@ -261,13 +296,22 @@ func (s *Store) ReadBucket(i int) ([]catalog.Object, time.Duration) {
 		start := time.Now()
 		objs, n, err := s.backend.ReadBucket(i)
 		if err != nil {
+			if s.obs != nil {
+				s.obs.ObserveReadError(ReadScan, err)
+			}
 			panic(fmt.Sprintf("bucket: backend scan of bucket %d: %v", i, err))
 		}
 		elapsed := time.Since(start)
 		s.dsk.AccountSequential(n, elapsed)
+		if s.obs != nil {
+			s.obs.ObserveRead(ReadScan, elapsed)
+		}
 		return objs, elapsed
 	}
 	cost := s.dsk.ReadSequential(s.part.BucketBytes(i))
+	if s.obs != nil {
+		s.obs.ObserveRead(ReadScan, cost)
+	}
 	if !s.materialize {
 		return nil, cost
 	}
@@ -283,13 +327,22 @@ func (s *Store) Probe(i, n int) ([]catalog.Object, time.Duration) {
 		start := time.Now()
 		objs, _, err := s.backend.Probe(i, n)
 		if err != nil {
+			if s.obs != nil {
+				s.obs.ObserveReadError(ReadProbe, err)
+			}
 			panic(fmt.Sprintf("bucket: backend probe of bucket %d: %v", i, err))
 		}
 		elapsed := time.Since(start)
 		s.dsk.AccountProbes(n, elapsed)
+		if s.obs != nil {
+			s.obs.ObserveRead(ReadProbe, elapsed)
+		}
 		return objs, elapsed
 	}
 	cost := s.dsk.ReadProbes(n)
+	if s.obs != nil {
+		s.obs.ObserveRead(ReadProbe, cost)
+	}
 	if !s.materialize {
 		return nil, cost
 	}

@@ -98,6 +98,17 @@ type Config struct {
 	// configs; external callers cannot (and must not) set it.
 	ownsBucket func(int) bool
 
+	// Metrics, when non-nil, instruments the engine: pick latency,
+	// service strategy, cache hit/miss, completions, and store read
+	// latency are recorded per shard (internal/metric handles, resolved
+	// once at construction; nil costs nothing on the hot path). The
+	// sharded engine passes the same EngineMetrics to every shard with
+	// the shard's own index.
+	Metrics *EngineMetrics
+	// shardIndex is the shard label the engine reports metrics under.
+	// Set by forkConfigs; 0 for the single-disk engine.
+	shardIndex int
+
 	// AgeDepreciationGamma enables the §6 QoS extension: the age of a
 	// query's requests is depreciated by 1/(1+γ·ln(1+objects)) so large
 	// batch queries do not starve interactive ones. 0 disables.

@@ -365,11 +365,19 @@ func (l *Live) loop(cfg Config, s *scheduler) {
 		for _, r := range rs {
 			if !r.Cancelled {
 				completed++
+				if s.obs != nil {
+					s.obs.completed.Inc()
+				}
 			}
 			if ch := waiters[r.QueryID]; ch != nil {
 				ch <- r
 				close(ch)
 				delete(waiters, r.QueryID)
+			}
+		}
+		if s.obs != nil && len(rs) > 0 {
+			if el := cfg.Clock.Now().Sub(start).Seconds(); el > 0 {
+				s.obs.vqps.Set(float64(completed) / el)
 			}
 		}
 	}

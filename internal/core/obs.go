@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"liferaft/internal/bucket"
+	"liferaft/internal/metric"
+)
+
+// EngineMetrics holds the engine-side metric families, labeled by shard.
+// Construct one per registry (NewEngineMetrics) and hand it to Config.
+// Metrics; the engine resolves per-shard handles once at scheduler
+// construction, so the hot scheduling path touches only atomics and the
+// zero-alloc service loop stays zero-alloc (instrumentation is skipped
+// entirely when Config.Metrics is nil, the default).
+type EngineMetrics struct {
+	pick      *metric.HistogramVec
+	services  *metric.CounterVec
+	completed *metric.CounterVec
+	vqps      *metric.GaugeVec
+	cacheHits *metric.CounterVec
+	cacheMiss *metric.CounterVec
+	readSec   *metric.HistogramVec
+	readErrs  *metric.CounterVec
+}
+
+// NewEngineMetrics registers the engine metric families on reg. Call at
+// most once per registry (duplicate registration panics, like a duplicate
+// flag).
+func NewEngineMetrics(reg *metric.Registry) *EngineMetrics {
+	shard := []string{"shard"}
+	return &EngineMetrics{
+		pick: reg.NewHistogramVec("liferaft_engine_pick_seconds",
+			"Wall-clock latency of one scheduler pick (bucket selection).",
+			shard, metric.ExpBuckets(5e-7, 4, 10), metric.VecOpts{}),
+		services: reg.NewCounterVec("liferaft_engine_services_total",
+			"Bucket services by join strategy (scan reads the bucket, index probes it).",
+			[]string{"shard", "strategy"}, metric.VecOpts{}),
+		completed: reg.NewCounterVec("liferaft_engine_completed_total",
+			"Queries completed by the engine (cancelled queries excluded).",
+			shard, metric.VecOpts{}),
+		vqps: reg.NewGaugeVec("liferaft_engine_vqps",
+			"Completed queries per second of engine clock time since start.",
+			shard, metric.VecOpts{}),
+		cacheHits: reg.NewCounterVec("liferaft_engine_cache_hits_total",
+			"Bucket services that found the bucket in the cache.",
+			shard, metric.VecOpts{}),
+		cacheMiss: reg.NewCounterVec("liferaft_engine_cache_misses_total",
+			"Bucket services that missed the cache.",
+			shard, metric.VecOpts{}),
+		readSec: reg.NewHistogramVec("liferaft_store_read_seconds",
+			"Store read latency by kind (scan = full bucket, probe = index lookups); modeled cost on the sim backend, measured on segment files.",
+			[]string{"shard", "kind"}, metric.ExpBuckets(1e-5, 4, 10), metric.VecOpts{}),
+		readErrs: reg.NewCounterVec("liferaft_store_read_errors_total",
+			"Store read failures by kind, including checksum mismatches; the store fail-stops after counting.",
+			[]string{"shard", "kind"}, metric.VecOpts{}),
+	}
+}
+
+// Shard resolves the per-shard handles for shard i (0 for the single-disk
+// engine). The returned EngineObs implements bucket.Observer.
+func (m *EngineMetrics) Shard(i int) *EngineObs {
+	s := strconv.Itoa(i)
+	return &EngineObs{
+		pick:      m.pick.With(s),
+		scanSvc:   m.services.With(s, "scan"),
+		indexSvc:  m.services.With(s, "index"),
+		completed: m.completed.With(s),
+		vqps:      m.vqps.With(s),
+		cacheHits: m.cacheHits.With(s),
+		cacheMiss: m.cacheMiss.With(s),
+		readScan:  m.readSec.With(s, string(bucket.ReadScan)),
+		readProbe: m.readSec.With(s, string(bucket.ReadProbe)),
+		errScan:   m.readErrs.With(s, string(bucket.ReadScan)),
+		errProbe:  m.readErrs.With(s, string(bucket.ReadProbe)),
+	}
+}
+
+// EngineObs is one shard's resolved metric handles. All methods are cheap
+// atomic updates safe from the shard's scheduling goroutine.
+type EngineObs struct {
+	pick      *metric.Histogram
+	scanSvc   *metric.Counter
+	indexSvc  *metric.Counter
+	completed *metric.Counter
+	vqps      *metric.Gauge
+	cacheHits *metric.Counter
+	cacheMiss *metric.Counter
+	readScan  *metric.Histogram
+	readProbe *metric.Histogram
+	errScan   *metric.Counter
+	errProbe  *metric.Counter
+}
+
+// ObserveRead implements bucket.Observer.
+func (o *EngineObs) ObserveRead(kind bucket.ReadKind, elapsed time.Duration) {
+	if kind == bucket.ReadProbe {
+		o.readProbe.Observe(elapsed.Seconds())
+		return
+	}
+	o.readScan.Observe(elapsed.Seconds())
+}
+
+// ObserveReadError implements bucket.Observer. The store fail-stops right
+// after this call, so the counter is the last trace a corrupt segment
+// leaves in a scrape before the panic.
+func (o *EngineObs) ObserveReadError(kind bucket.ReadKind, err error) {
+	if kind == bucket.ReadProbe {
+		o.errProbe.Inc()
+		return
+	}
+	o.errScan.Inc()
+}

@@ -140,6 +140,11 @@ type scheduler struct {
 	// the disk model at construction.
 	tbSec float64
 	tmSec float64
+
+	// obs holds this shard's resolved metric handles; nil (the default)
+	// skips all instrumentation, keeping the service loop zero-alloc and
+	// bit-identical to the uninstrumented engine.
+	obs *EngineObs
 }
 
 func newScheduler(cfg Config) (*scheduler, error) {
@@ -172,6 +177,12 @@ func newScheduler(cfg Config) (*scheduler, error) {
 	// that bucket's cached Ut in sync (admissions are the scheduler's
 	// own cachePut calls).
 	s.cache.OnEvict(func(k int, _ bucketObjects) { s.noteCacheChange(k) })
+	if cfg.Metrics != nil {
+		s.obs = cfg.Metrics.Shard(cfg.shardIndex)
+		// The store observer sees every read this engine issues; each
+		// shard owns its forked store, so the handles never cross shards.
+		cfg.Store.SetObserver(s.obs)
+	}
 	return s, nil
 }
 
@@ -621,6 +632,15 @@ func (s *scheduler) pickLeastSharedScan() (int, bool) {
 // the next step (or serviceBucket) call; both engine loops consume it
 // immediately (run.go appends the values, live.go delivers them).
 func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
+	if s.obs != nil {
+		t0 := time.Now()
+		idx, ok := s.pick(now)
+		s.obs.pick.Observe(time.Since(t0).Seconds())
+		if !ok {
+			return nil, false
+		}
+		return s.serviceBucket(idx, now), true
+	}
 	idx, ok := s.pick(now)
 	if !ok {
 		return nil, false
@@ -649,6 +669,13 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 
 	// The Join Evaluator: hybrid strategy per §3.4.
 	objs, inMem := s.cache.Get(idx)
+	if s.obs != nil {
+		if inMem {
+			s.obs.cacheHits.Inc()
+		} else {
+			s.obs.cacheMiss.Inc()
+		}
+	}
 	strategy := xmatch.ChooseStrategy(count, bucketLen, s.cfg.HybridThreshold, inMem)
 	var pairs []xmatch.Pair
 	wos := s.wosBuf[:0]
@@ -667,6 +694,9 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 			pairs = xmatch.MergeJoin(objs, wos, s.preds)
 		}
 		s.stats.ScanServices++
+		if s.obs != nil {
+			s.obs.scanSvc.Inc()
+		}
 	case xmatch.Index:
 		objs, _ = s.cfg.Store.Probe(idx, count)
 		s.cfg.Disk.MatchObjects(count)
@@ -674,6 +704,9 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 			pairs = xmatch.IndexJoin(objs, wos, s.preds)
 		}
 		s.stats.IndexServices++
+		if s.obs != nil {
+			s.obs.indexSvc.Inc()
+		}
 	}
 	s.stats.BucketsServed++
 

@@ -170,6 +170,7 @@ func forkConfigs(cfg Config, m *shard.Map) ([]Config, error) {
 		}
 		sc.Store = st
 		sc.ownsBucket = func(b int) bool { return m.Owner(b) == s }
+		sc.shardIndex = s
 		shardCfgs[s] = sc
 	}
 	return shardCfgs, nil

@@ -135,6 +135,12 @@ type NodeConfig struct {
 	// partition (0 = the paper's 4 KiB). A file-backed node's segment
 	// store must have been written with the same value.
 	ObjectBytes int64
+	// Metrics, when non-nil, instruments the node's engine on that
+	// registry (pick latency, cache hit/miss, store reads, per-shard);
+	// pair it with Serving.Registry to cover the request path end to
+	// end. One EngineMetrics must not be shared across nodes — each node
+	// needs its own registry.
+	Metrics *core.EngineMetrics
 }
 
 // Node is one archive site: a catalog, its bucket partition, and a live
@@ -184,6 +190,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ecfg.CacheBuckets = cfg.CacheBuckets
 	}
 	ecfg.Shards = cfg.Shards
+	ecfg.Metrics = cfg.Metrics
 	eng, err := core.NewLive(ecfg)
 	if err != nil {
 		ecfg.Store.Close()

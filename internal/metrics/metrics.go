@@ -13,23 +13,40 @@ import (
 
 // Summary describes a sample of non-negative values (typically response
 // times in seconds).
+//
+// When a Summary comes from a Reservoir that has discarded observations,
+// Sampled is true and the dispersion and percentile fields (StdDev, CoV,
+// P50, P90, P99) are estimates computed from the SampleSize retained
+// values; Count, Mean, Min, and Max are always exact over every
+// observation. The JSON encoding carries the same two fields ("sampled",
+// "sample_size") so /v1/stats consumers can tell estimated quantiles from
+// exact ones.
 type Summary struct {
 	// Count is the number of observed values. int64, not int: reservoir
 	// summaries count every observation ever made (billions over a
 	// long-lived tenant), not just the retained sample, and the old int
 	// truncated that on 32-bit platforms.
-	Count int64
-	Mean  float64
-	Min   float64
-	Max   float64
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
 	// StdDev is the population standard deviation.
-	StdDev float64
+	StdDev float64 `json:"stddev"`
 	// CoV is the coefficient of variance (StdDev/Mean), the dispersion
 	// statistic of Figure 7b. Zero when Mean is zero.
-	CoV float64
-	P50 float64
-	P90 float64
-	P99 float64
+	CoV float64 `json:"cov"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	// Sampled marks the dispersion and percentile fields above as
+	// estimates from a uniform subsample of SampleSize values (reservoir
+	// sampling discarded the rest). False means every statistic was
+	// computed over the full stream.
+	Sampled bool `json:"sampled,omitempty"`
+	// SampleSize is the number of retained values behind a reservoir
+	// summary's dispersion and percentile fields (equal to Count until
+	// the reservoir overflows); 0 for summaries computed without one.
+	SampleSize int `json:"sample_size,omitempty"`
 }
 
 // Summarize computes a Summary. An empty sample yields the zero Summary.

@@ -12,6 +12,19 @@ import (
 // response-time breakdowns that must survive tenants submitting millions
 // of queries.
 //
+// Semantics of the resulting Summary: Count, Mean, Min, and Max are
+// tracked exactly over every observation regardless of what the sample
+// retains; the dispersion and percentile fields are computed from the
+// retained sample and are therefore estimates once the stream outgrows
+// the capacity — the Summary marks that case with Sampled=true and
+// reports the retained size in SampleSize. Because the sample is uniform
+// over the whole stream, those estimates are unbiased but weight old and
+// recent observations equally: a reservoir answers "what has this
+// tenant's p99 been overall", not "what is it right now" (the windowed
+// signals live in the metric registry's histograms). Replacement
+// decisions come from the seeded RNG, so a fixed observation order
+// reproduces the identical sample.
+//
 // A Reservoir is not safe for concurrent use; callers serialize access.
 type Reservoir struct {
 	cap   int
@@ -56,7 +69,9 @@ func (r *Reservoir) Count() int64 { return r.seen }
 
 // Summary summarizes the stream: Count, Mean, Min, and Max are exact over
 // every observed value; the dispersion and percentile fields are estimated
-// from the retained sample. An empty reservoir yields the zero Summary.
+// from the retained sample, and the Summary's Sampled/SampleSize fields
+// say so whenever the stream has outgrown the reservoir. An empty
+// reservoir yields the zero Summary.
 func (r *Reservoir) Summary() Summary {
 	if r.seen == 0 {
 		return Summary{}
@@ -69,5 +84,7 @@ func (r *Reservoir) Summary() Summary {
 	if s.Mean != 0 {
 		s.CoV = s.StdDev / s.Mean
 	}
+	s.Sampled = r.seen > int64(len(r.vals))
+	s.SampleSize = len(r.vals)
 	return s
 }

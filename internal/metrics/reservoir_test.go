@@ -27,8 +27,14 @@ func TestReservoirExactUnderCapacity(t *testing.T) {
 		r.Add(x)
 	}
 	got, want := r.Summary(), Summarize(xs)
+	// The only difference from Summarize is the sample labeling: nothing
+	// was discarded, so the summary is exact and says so.
+	want.SampleSize = len(xs)
 	if got != want {
 		t.Errorf("summary = %+v, want %+v", got, want)
+	}
+	if got.Sampled {
+		t.Error("under-capacity reservoir marked Sampled")
 	}
 }
 
@@ -53,6 +59,9 @@ func TestReservoirBoundedAndUnbiased(t *testing.T) {
 	}
 	if math.Abs(s.Mean-(n-1)/2.0) > 1e-6 {
 		t.Errorf("mean = %v, want exact %v", s.Mean, (n-1)/2.0)
+	}
+	if !s.Sampled || s.SampleSize != 512 {
+		t.Errorf("sampled/size = %v/%d, want true/512: estimated fields must be labeled", s.Sampled, s.SampleSize)
 	}
 	// Sampled percentiles: within 10% of the true quantiles (512 samples
 	// give ~±4.4% standard error at the median; the seed is fixed).

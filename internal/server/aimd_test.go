@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"liferaft/internal/core"
+	"liferaft/internal/metric"
+	"liferaft/internal/simclock"
+)
+
+// completeOne finishes an arbitrary in-flight job, returning its ID.
+func (e *stubEngine) completeOne() (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, ch := range e.inflight {
+		now := e.clk.Now()
+		ch <- core.Result{QueryID: id, Arrived: now, Completed: now}
+		close(ch)
+		delete(e.inflight, id)
+		return id, true
+	}
+	return 0, false
+}
+
+// tenantRate reads a tenant's current bucket rate under the server lock.
+func tenantRate(s *Server, name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[name]
+	if t == nil || t.bucket == nil {
+		return -1
+	}
+	return t.bucket.rate
+}
+
+// TestAIMDCutAndRegrow pins the controller end to end on a virtual clock:
+// an SLO breach cuts the backlogged tenant's rate (and only that
+// tenant's), and sustained headroom regrows it additively.
+func TestAIMDCutAndRegrow(t *testing.T) {
+	clk := simclock.NewVirtual()
+	eng := newStubEngine(clk)
+	reg := metric.NewRegistry()
+	s, err := New(eng, Config{
+		MaxInFlight:     1,
+		Registry:        reg,
+		SLOP99:          time.Second,
+		ControlInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// greedy backlogs 4 queued behind 1 in flight; quiet queues just one.
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := s.Submit(context.Background(), "greedy", core.Job{ID: i}); err != nil {
+			t.Fatalf("greedy submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(context.Background(), "quiet", core.Job{ID: 100}); err != nil {
+		t.Fatalf("quiet submit: %v", err)
+	}
+	eng.waitInflight(t, 1)
+
+	// One completion past the SLO: the tick at its await sees p99 > SLO
+	// with greedy backlogged.
+	clk.Advance(3 * time.Second)
+	eng.complete(1)
+	waitFor(t, func() bool { return tenantRate(s, "greedy") < aimdUnlimited })
+	if r := tenantRate(s, "quiet"); r < aimdUnlimited {
+		t.Errorf("quiet (no backlog) was cut to %v qps; cuts must hit only backlogged tenants", r)
+	}
+
+	// Drain everything.
+	for done := 0; done < 5; {
+		eng.waitInflight(t, 1)
+		if _, ok := eng.completeOne(); ok {
+			done++
+		}
+	}
+	waitFor(t, func() bool {
+		st := s.Stats()
+		var n int64
+		for _, ts := range st.Tenants {
+			n += ts.Completed
+		}
+		return n == 6
+	})
+
+	// Headroom ticks: instant completions well under the SLO, empty
+	// queue. Each tick regrows greedy by aimdStep.
+	cutRate := tenantRate(s, "greedy")
+	for i := 0; i < 4; i++ {
+		clk.Advance(200 * time.Millisecond)
+		if _, err := s.Submit(context.Background(), "quiet", core.Job{ID: uint64(1000 + i)}); err != nil {
+			t.Fatalf("headroom submit %d: %v", i, err)
+		}
+		eng.waitInflight(t, 1)
+		eng.completeOne()
+		want := tenantRate(s, "greedy")
+		waitFor(t, func() bool { return tenantRate(s, "greedy") >= want })
+	}
+	waitFor(t, func() bool { return tenantRate(s, "greedy") > cutRate })
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.inFlight == 0 && s.fq.len() == 0
+	})
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`liferaft_admission_total{tenant="greedy",decision="admitted"} 5`,
+		`liferaft_aimd_rate_cuts_total{tenant="greedy"}`,
+		`liferaft_aimd_rate_raises_total{tenant="greedy"}`,
+		`liferaft_tenant_rate_qps{tenant="greedy"}`,
+		`liferaft_response_seconds_bucket{tenant="greedy",le="+Inf"}`,
+		`liferaft_queue_wait_seconds_count{tenant="quiet"}`,
+		"liferaft_inflight 0",
+		"liferaft_slo_p99_seconds 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestStaticModeKeepsOldBehavior: -rate-mode=static must be the
+// pre-adaptive serving layer exactly — no bucket for unlimited tenants,
+// no controller ticks.
+func TestStaticModeKeepsOldBehavior(t *testing.T) {
+	clk := simclock.NewVirtual()
+	eng := newStubEngine(clk)
+	eng.auto = true
+	s, err := New(eng, Config{RateMode: RateStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), "x", core.Job{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if _, err := s.Submit(context.Background(), "x", core.Job{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tenants["x"].bucket != nil {
+		t.Error("static mode gave an unlimited tenant a token bucket")
+	}
+	if !s.ctlLast.IsZero() {
+		t.Error("static mode ran controller ticks")
+	}
+}

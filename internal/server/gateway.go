@@ -8,6 +8,8 @@ import (
 	"math"
 	"net/http"
 	"time"
+
+	"liferaft/internal/metric"
 )
 
 // Gateway is the HTTP+JSON front door of a LifeRaft node, served alongside
@@ -15,6 +17,7 @@ import (
 //
 //	POST /v1/query   {"tenant": "...", "query": "<SkyQL>", "timeout_ms": 0}
 //	GET  /v1/stats   serving-layer snapshot (per-tenant breakdowns)
+//	GET  /metrics    Prometheus text exposition (GatewayConfig.Registry)
 //	GET  /healthz    liveness probe
 //
 // Query execution is injected (GatewayConfig.Exec) so the gateway stays
@@ -41,6 +44,9 @@ type GatewayConfig struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Registry, when set, backs /metrics with the Prometheus text
+	// rendering (a /metrics request without one returns 404).
+	Registry *metric.Registry
 }
 
 // NewGateway validates cfg and builds the handler.
@@ -60,6 +66,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	g := &Gateway{cfg: cfg, mux: http.NewServeMux()}
 	g.mux.HandleFunc("/v1/query", g.handleQuery)
 	g.mux.HandleFunc("/v1/stats", g.handleStats)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	g.mux.HandleFunc("/healthz", g.handleHealth)
 	return g, nil
 }
@@ -196,6 +203,20 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, g.cfg.Server.Stats())
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	if g.cfg.Registry == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "metrics not configured"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.cfg.Registry.WriteText(w)
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -33,6 +33,21 @@ func (b *tokenBucket) refill(now time.Time) {
 	b.last = now
 }
 
+// unlimited reports whether the bucket is at the adaptive-mode
+// "effectively unlimited" sentinel rate. Admission must skip take() then:
+// on a stalled virtual clock (cache-hot engine, zero modeled cost) no
+// tokens ever accrue, and an unlimited tenant would drain its burst and
+// be rejected by a limiter that is supposed to not exist yet.
+func (b *tokenBucket) unlimited() bool { return b.rate >= aimdUnlimited }
+
+// setRate rebases the accrual rate at now. Tokens accrued so far are
+// settled first, so a rate change never retroactively re-prices elapsed
+// time. This is the AIMD controller's actuator.
+func (b *tokenBucket) setRate(rate float64, now time.Time) {
+	b.refill(now)
+	b.rate = rate
+}
+
 // take spends n tokens if available.
 func (b *tokenBucket) take(n float64, now time.Time) bool {
 	b.refill(now)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"liferaft/internal/core"
+	"liferaft/internal/metric"
 	"liferaft/internal/metrics"
 	"liferaft/internal/simclock"
 )
@@ -87,7 +88,41 @@ type Config struct {
 	// Tenants pre-registers tenants with explicit limits; all other
 	// tenants auto-register with the defaults above on first use.
 	Tenants []TenantConfig
+
+	// RateMode selects admission-rate control. RateAdaptive (the
+	// default) gives every tenant a token bucket — starting at its
+	// configured Rate, or effectively unlimited — and moves the rates
+	// with an AIMD controller driven by the SLO below. RateStatic is the
+	// pre-adaptive behavior: rates stay exactly as configured and
+	// tenants without a positive rate are never limited.
+	RateMode RateMode
+	// SLOP99 is the target p99 client-observed response time on the
+	// serving clock (default 2s). In adaptive mode, a control window
+	// whose p99 exceeds it cuts backlogged tenants' rates
+	// multiplicatively; sustained headroom regrows them additively.
+	SLOP99 time.Duration
+	// ControlInterval is the AIMD evaluation period on the serving clock
+	// (default 250ms).
+	ControlInterval time.Duration
+	// Registry, when non-nil, instruments the serving layer: admission
+	// decisions, token-bucket waits, queue depth and wait, in-flight,
+	// response latency, and AIMD rate moves (see docs/OPERATIONS.md for
+	// every family).
+	Registry *metric.Registry
 }
+
+// RateMode selects how per-tenant admission rates are managed.
+type RateMode string
+
+// Rate-control modes.
+const (
+	// RateAdaptive self-tunes per-tenant rates with the AIMD controller
+	// (DESIGN-overload.md). The default.
+	RateAdaptive RateMode = "adaptive"
+	// RateStatic keeps configured rates fixed; unconfigured tenants are
+	// unlimited. The pre-adaptive behavior.
+	RateStatic RateMode = "static"
+)
 
 func (c Config) withDefaults() (Config, error) {
 	if c.DefaultBurst < 1 {
@@ -119,6 +154,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ReservoirSize < 1 {
 		c.ReservoirSize = 1024
+	}
+	if c.RateMode == "" {
+		c.RateMode = RateAdaptive
+	}
+	if c.RateMode != RateAdaptive && c.RateMode != RateStatic {
+		return c, fmt.Errorf("server: unknown RateMode %q", c.RateMode)
+	}
+	if c.SLOP99 <= 0 {
+		c.SLOP99 = 2 * time.Second
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 250 * time.Millisecond
 	}
 	seen := make(map[string]bool, len(c.Tenants))
 	for _, tc := range c.Tenants {
@@ -177,9 +224,16 @@ type tenant struct {
 	name   string
 	weight int
 	depth  int
-	bucket *tokenBucket // nil when unlimited
+	bucket *tokenBucket // nil when unlimited (static mode only)
 	flow   *flow
 	resp   *metrics.Reservoir
+	// maxRate is the AIMD regrowth ceiling (the configured rate, or
+	// aimdUnlimited); winCompleted counts completions since the last
+	// control tick — the tenant's delivered rate, which is what the
+	// controller rebases an unlimited tenant to before its first cut
+	// (admissions would overstate it arbitrarily during a burst).
+	maxRate      float64
+	winCompleted int64
 
 	submitted     int64
 	rejectedRate  int64
@@ -204,6 +258,13 @@ type Server struct {
 	inFlight int
 	closed   bool
 
+	// obs holds resolved metric families (nil without a Registry);
+	// ctlLast/ctlWindow are the AIMD controller's tick state (aimd.go),
+	// guarded by mu like everything else.
+	obs       *servingMetrics
+	ctlLast   time.Time
+	ctlWindow []float64
+
 	wg        sync.WaitGroup // dispatcher + in-flight result waiters
 	closeOnce sync.Once
 }
@@ -227,6 +288,11 @@ func New(eng Engine, cfg Config) (*Server, error) {
 		fq:      newFairQueue(cfg.Quantum),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Registry != nil {
+		s.obs = newServingMetrics(cfg.Registry)
+		s.obs.sloP99.Set(cfg.SLOP99.Seconds())
+		cfg.Registry.OnGather(s.gather)
+	}
 	for _, tc := range cfg.Tenants {
 		if _, err := s.register(tc); err != nil {
 			return nil, err
@@ -235,6 +301,22 @@ func New(eng Engine, cfg Config) (*Server, error) {
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
+}
+
+// gather refreshes the scrape-time gauges (queue depths, in-flight,
+// per-tenant rates); registered as the registry's OnGather hook.
+func (s *Server) gather() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.queued.Set(float64(s.fq.len()))
+	s.obs.inFlight.Set(float64(s.inFlight))
+	s.obs.tenants.Set(float64(len(s.tenants)))
+	for _, t := range s.tenants {
+		s.obs.queueDepth.With(t.name).Set(float64(t.flow.size()))
+		if t.bucket != nil {
+			s.obs.tenantRate.With(t.name).Set(t.bucket.rate)
+		}
+	}
 }
 
 // register creates a tenant from its config; the caller holds no lock (New
@@ -266,7 +348,18 @@ func (s *Server) register(tc TenantConfig) (*tenant, error) {
 		return nil, err
 	}
 	t := &tenant{name: tc.Name, weight: weight, depth: depth, resp: resv}
-	if rate > 0 {
+	switch {
+	case s.cfg.RateMode == RateAdaptive:
+		// Every tenant gets a cuttable bucket. Without a configured
+		// rate it starts effectively unlimited — admission-identical to
+		// no bucket until the controller's first cut.
+		t.maxRate = rate
+		if t.maxRate <= 0 {
+			t.maxRate = aimdUnlimited
+		}
+		t.bucket = newTokenBucket(t.maxRate, burst)
+	case rate > 0:
+		t.maxRate = rate
 		t.bucket = newTokenBucket(rate, burst)
 	}
 	t.flow = s.fq.flowFor(tc.Name, weight)
@@ -304,24 +397,42 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<
 	}
 	t, err := s.tenantLocked(tenantName)
 	if err != nil {
+		if s.obs != nil {
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				s.obs.admission.With(tenantName, decisionRejectedTenants).Inc()
+			}
+		}
 		return nil, err
 	}
 	t.submitted++
 	now := s.clk.Now()
+	s.maybeControlTick(now)
 	// Queue depth first: a queue-full rejection must not spend a rate
 	// token, or a tenant retrying against a draining queue would be
 	// double-penalized below its configured rate.
 	if t.flow.size() >= t.depth {
 		t.rejectedQueue++
 		retry := 500 * time.Millisecond // advisory: roughly one service
-		if t.bucket != nil {
+		if t.bucket != nil && !t.bucket.unlimited() {
 			retry = t.bucket.wait(1, now)
+		}
+		if s.obs != nil {
+			s.obs.admission.With(t.name, decisionRejectedQueue).Inc()
 		}
 		return nil, &OverloadError{Tenant: t.name, Reason: OverloadQueue, RetryAfter: retry}
 	}
-	if t.bucket != nil && !t.bucket.take(1, now) {
+	if t.bucket != nil && !t.bucket.unlimited() && !t.bucket.take(1, now) {
 		t.rejectedRate++
-		return nil, &OverloadError{Tenant: t.name, Reason: OverloadRate, RetryAfter: t.bucket.wait(1, now)}
+		retry := t.bucket.wait(1, now)
+		if s.obs != nil {
+			s.obs.admission.With(t.name, decisionRejectedRate).Inc()
+			s.obs.tbWait.With(t.name).Observe(retry.Seconds())
+		}
+		return nil, &OverloadError{Tenant: t.name, Reason: OverloadRate, RetryAfter: retry}
+	}
+	if s.obs != nil {
+		s.obs.admission.With(t.name, decisionAdmitted).Inc()
 	}
 	p := &pending{job: job, ctx: ctx, tenant: t, out: make(chan core.Result, 1), enq: now}
 	s.fq.push(t.flow, p)
@@ -344,6 +455,9 @@ func (s *Server) dispatch() {
 			return
 		}
 		p := s.fq.pop()
+		if s.obs != nil {
+			s.obs.queueWait.With(p.tenant.name).Observe(s.clk.Now().Sub(p.enq).Seconds())
+		}
 		if p.ctx.Err() != nil {
 			// Abandoned while queued: resolve without touching the
 			// engine at all.
@@ -385,6 +499,7 @@ func (s *Server) await(p *pending, ch <-chan core.Result) {
 		p.tenant.cancelled++
 	default:
 		p.tenant.completed++
+		p.tenant.winCompleted++
 		// Client-observed response: admission to engine completion,
 		// both on the serving clock. The engine stamps Completed
 		// authoritatively; rebase Arrived to the admission instant.
@@ -393,7 +508,14 @@ func (s *Server) await(p *pending, ch <-chan core.Result) {
 			d = 0
 		}
 		p.tenant.resp.Add(d.Seconds())
+		if s.obs != nil {
+			s.obs.response.With(p.tenant.name).Observe(d.Seconds())
+		}
+		if s.cfg.RateMode == RateAdaptive {
+			s.ctlWindow = append(s.ctlWindow, d.Seconds())
+		}
 	}
+	s.maybeControlTick(s.clk.Now())
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if ok {
@@ -433,8 +555,14 @@ type TenantStats struct {
 	Queued        int   `json:"queued"`
 	InFlight      int   `json:"in_flight"`
 	// RespTime summarizes client-observed response times (seconds) of
-	// completed queries: admission instant to engine completion.
+	// completed queries: admission instant to engine completion. Mean,
+	// min, max, and count are exact; dispersion and percentiles are
+	// reservoir-sampled (see metrics.Reservoir and the Summary's
+	// sampled/sample_size fields).
 	RespTime metrics.Summary `json:"resp_time"`
+	// RateQPS is the tenant's current admission rate in queries/sec
+	// (0 = unlimited). The AIMD controller moves it in adaptive mode.
+	RateQPS float64 `json:"rate_qps,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the serving layer.
@@ -468,6 +596,9 @@ func (s *Server) Stats() Stats {
 			Queued:        t.flow.size(),
 			InFlight:      t.inFlight,
 			RespTime:      t.resp.Summary(),
+		}
+		if t.bucket != nil {
+			ts.RateQPS = t.bucket.rate
 		}
 		out.Tenants = append(out.Tenants, ts)
 	}

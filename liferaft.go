@@ -73,11 +73,20 @@
 //	})
 //	ch, err := srv.Submit(ctx, "vip", job)
 //
+// By default admission rates are self-tuning: an AIMD controller cuts
+// backlogged tenants' rates when the windowed p99 breaches the configured
+// SLO (ServerConfig.SLOP99) and regrows them on headroom; RateStatic
+// keeps configured rates fixed. internal/server/DESIGN-overload.md has
+// the control-loop design and stability argument.
+//
 // Federation nodes take the same layer via FedNodeConfig.Serving, and
-// cmd/liferaftd exposes it as -rate, -queue-depth, and -tenants, plus an
-// HTTP+JSON gateway (-http) accepting SkyQL on /v1/query with per-tenant
-// stats on /v1/stats. See examples/multitenant for the fairness demo and
-// README.md for the daemon walkthrough.
+// cmd/liferaftd exposes it as -rate, -rate-mode, -slo-p99, -queue-depth,
+// and -tenants, plus an HTTP+JSON gateway (-http) accepting SkyQL on
+// /v1/query with per-tenant stats on /v1/stats and a Prometheus-text
+// metric scrape on /metrics. See examples/multitenant for the fairness
+// demo, README.md for the daemon walkthrough, and docs/OPERATIONS.md —
+// the operator's manual — for every flag, every exported metric, and the
+// SLO/AIMD tuning model.
 //
 // # Persistent storage
 //
@@ -111,6 +120,8 @@
 //	go test -race ./internal/core/... ./internal/shard/... ./internal/federation/... ./internal/server/...
 //	go test -race -run 'TestBackendParity' ./internal/core/   # file backend == simulated disk
 //	go test -bench=. -benchtime=1x -run='^$' ./...
+//	go run ./cmd/skybench -overload BENCH_5.json              # overload scenarios, SLO verdicts
+//	go run ./cmd/docdrift                                     # docs/OPERATIONS.md covers every flag + metric
 //
 // Keep all of them green locally before sending a change.
 //
@@ -128,6 +139,7 @@ import (
 	"liferaft/internal/federation"
 	"liferaft/internal/geom"
 	"liferaft/internal/htm"
+	"liferaft/internal/metric"
 	"liferaft/internal/metrics"
 	"liferaft/internal/segment"
 	"liferaft/internal/server"
@@ -242,10 +254,19 @@ type (
 	TenantStats = server.TenantStats
 	// OverloadError is the backpressure signal (reason + retry-after).
 	OverloadError = server.OverloadError
-	// Gateway is the HTTP+JSON front door (/v1/query, /v1/stats, /healthz).
+	// Gateway is the HTTP+JSON front door (/v1/query, /v1/stats,
+	// /metrics, /healthz).
 	Gateway = server.Gateway
 	// GatewayConfig configures a Gateway.
 	GatewayConfig = server.GatewayConfig
+	// RateMode selects how admission rates are governed; see
+	// ServerConfig.RateMode and internal/server/DESIGN-overload.md.
+	RateMode = server.RateMode
+	// MetricRegistry collects metric families and serves them in
+	// Prometheus text format (internal/metric); wire one through
+	// ServerConfig.Registry and GatewayConfig.Registry to expose
+	// /metrics. docs/OPERATIONS.md documents every exported family.
+	MetricRegistry = metric.Registry
 )
 
 // Admission rejection reasons carried by OverloadError.
@@ -255,6 +276,15 @@ const (
 	OverloadTenants = server.OverloadTenants
 )
 
+// Admission rate-control modes for ServerConfig.RateMode.
+const (
+	// RateAdaptive self-tunes per-tenant rates with an AIMD controller
+	// against ServerConfig.SLOP99 (the default).
+	RateAdaptive = server.RateAdaptive
+	// RateStatic keeps configured rates fixed, the pre-adaptive behavior.
+	RateStatic = server.RateStatic
+)
+
 var (
 	// NewServer starts a serving layer over a Live engine.
 	NewServer = server.New
@@ -262,6 +292,12 @@ var (
 	NewGateway = server.NewGateway
 	// ErrServerClosed is returned by Server.Submit after Close.
 	ErrServerClosed = server.ErrClosed
+	// NewMetricRegistry creates an empty metric registry.
+	NewMetricRegistry = metric.NewRegistry
+	// NewEngineMetrics registers the engine metric families on a
+	// registry; hand the result to Config.Metrics to instrument an
+	// engine (nil Metrics — the default — costs nothing).
+	NewEngineMetrics = core.NewEngineMetrics
 )
 
 // ---- Catalogs (synthetic sky archives) ----
