@@ -6,7 +6,11 @@
 //     as `-name` in the manual;
 //   - every metric family name (a double-quoted "liferaft_*" literal in
 //     non-test Go source, i.e. a registration site) must appear
-//     verbatim.
+//     verbatim;
+//   - every HTTP endpoint path registered on a mux in non-test Go
+//     source must appear verbatim, or be covered by a documented
+//     ancestor path (documenting /debug/pprof covers
+//     /debug/pprof/cmdline and friends).
 //
 // Any undocumented flag or metric fails the run with a list of the
 // offenders and where they were registered, so adding a flag or a
@@ -42,6 +46,11 @@ var flagRe = regexp.MustCompile(`flag\.\w+\([^"\n]*"([^"\n]+)"`)
 // use backquoted series strings and are deliberately not matched.
 var metricRe = regexp.MustCompile(`"(liferaft_[a-z0-9_]+)"`)
 
+// endpointRe matches an HTTP route registration — mux.Handle("/path",
+// ...) or mux.HandleFunc("/path", ...) — and captures the path.
+var endpointRe = regexp.MustCompile(`\.Handle(?:Func)?\(\s*"(/[^"
+]+)"`)
+
 // site records where an identifier was found, for the failure message.
 type site struct{ file, name string }
 
@@ -73,9 +82,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if len(flags) == 0 || len(metrics) == 0 {
-		return fmt.Errorf("inventory came up empty (flags=%d, metrics=%d): the extraction regexes no longer match the source tree",
-			len(flags), len(metrics))
+	endpoints, err := collectAll([]string{"cmd", "internal"}, func(path string) bool {
+		// Skip this tool's own source: the doc comment's example route
+		// would match.
+		return !strings.HasSuffix(path, "_test.go") &&
+			filepath.Base(filepath.Dir(path)) != "docdrift"
+	}, endpointRe)
+	if err != nil {
+		return err
+	}
+	if len(flags) == 0 || len(metrics) == 0 || len(endpoints) == 0 {
+		return fmt.Errorf("inventory came up empty (flags=%d, metrics=%d, endpoints=%d): the extraction regexes no longer match the source tree",
+			len(flags), len(metrics), len(endpoints))
 	}
 
 	var missing []string
@@ -90,6 +108,22 @@ func run() error {
 			missing = append(missing, fmt.Sprintf("metric %s (registered in %s) is not documented", m.name, m.file))
 		}
 	}
+	for _, e := range endpoints {
+		name := strings.TrimSuffix(e.name, "/")
+		covered := strings.Contains(doc, name)
+		for _, a := range endpoints {
+			if covered {
+				break
+			}
+			anc := strings.TrimSuffix(a.name, "/")
+			if anc != name && strings.HasPrefix(name, anc+"/") && strings.Contains(doc, anc) {
+				covered = true
+			}
+		}
+		if !covered {
+			missing = append(missing, fmt.Sprintf("endpoint %s (registered in %s) is not documented", e.name, e.file))
+		}
+	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		for _, line := range missing {
@@ -97,8 +131,8 @@ func run() error {
 		}
 		return fmt.Errorf("%d undocumented name(s) — add them to %s", len(missing), manualPath)
 	}
-	fmt.Printf("docdrift: %s covers all %d flags and %d metric families\n",
-		manualPath, len(flags), len(metrics))
+	fmt.Printf("docdrift: %s covers all %d flags, %d metric families, %d endpoints\n",
+		manualPath, len(flags), len(metrics), len(endpoints))
 	return nil
 }
 

@@ -43,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,6 +63,7 @@ import (
 	"liferaft/internal/server"
 	"liferaft/internal/simclock"
 	"liferaft/internal/skyql"
+	"liferaft/internal/trace"
 )
 
 // options collects every flag, so validation is testable as one unit.
@@ -77,6 +79,7 @@ type options struct {
 	shards      int
 	virtual     bool
 	httpAddr    string
+	debugAddr   string
 	tenants     string
 	rate        float64
 	rateMode    string
@@ -100,6 +103,7 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 1, "disk/worker shards for this node's engine (1 = single disk)")
 	flag.BoolVar(&o.virtual, "virtual-clock", true, "charge modeled I/O cost to a virtual clock (instant) instead of sleeping")
 	flag.StringVar(&o.httpAddr, "http", "", "HTTP gateway listen address (empty = disabled)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "debug listen address serving /debug/traces and /debug/pprof (empty = disabled)")
 	flag.StringVar(&o.tenants, "tenants", "", "pre-registered tenants as name:weight pairs, e.g. vip:4,batch:1")
 	flag.Float64Var(&o.rate, "rate", 0, "per-tenant admission rate in queries/sec (0 = unlimited; in adaptive mode, the AIMD regrowth ceiling)")
 	flag.StringVar(&o.rateMode, "rate-mode", "adaptive", "admission rate control: adaptive (AIMD self-tuning, the default) or static (rates stay as configured)")
@@ -339,11 +343,16 @@ func run(o options) error {
 			fmt.Printf("opening segment store under %s\n", o.dataDir)
 		}
 	}
+	// One recorder serves the node, the gateway, and the debug server:
+	// requests traced at the gateway and continuations started by remote
+	// portals land in the same rings. Slow-query capture keys to the same
+	// threshold the AIMD controller defends (-slo-p99).
+	rec := trace.New(trace.Config{Now: clk.Now, SlowThreshold: o.sloP99})
 	node, err := federation.NewNode(federation.NodeConfig{
 		Catalog: cat, ObjectsPerBucket: o.perBucket,
 		Alpha: o.alpha, CacheBuckets: o.cache, Shards: o.shards, Clock: clk,
 		Serving: serving, DataDir: o.dataDir, ObjectBytes: o.objectBytes,
-		Metrics: core.NewEngineMetrics(reg),
+		Metrics: core.NewEngineMetrics(reg), Tracer: rec,
 	})
 	if err != nil {
 		return err
@@ -368,6 +377,7 @@ func run(o options) error {
 			Exec:     gatewayExec(portal),
 			Server:   node.Serving(),
 			Registry: reg,
+			Tracer:   rec,
 		})
 		if err != nil {
 			return err
@@ -391,12 +401,40 @@ func run(o options) error {
 		fmt.Printf("HTTP gateway on %s (/v1/query, /v1/stats, /metrics, /healthz)\n", o.httpAddr)
 	}
 
+	var dbgSrv *http.Server
+	if o.debugAddr != "" {
+		mux := http.NewServeMux()
+		th := rec.Handler()
+		mux.Handle("/debug/traces", th)
+		mux.Handle("/debug/traces/", th)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv = &http.Server{
+			Addr: o.debugAddr, Handler: mux,
+			// Profiles stream for as long as asked (?seconds=N); only
+			// bound the header read.
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "liferaftd: debug: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/traces, /debug/pprof)\n", o.debugAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	if httpSrv != nil {
 		httpSrv.Shutdown(context.Background())
+	}
+	if dbgSrv != nil {
+		dbgSrv.Shutdown(context.Background())
 	}
 	return nil
 }

@@ -17,7 +17,7 @@
 //	    # (built there on first use)
 //	skybench -overload BENCH_5.json
 //	    # serving-layer overload scenarios (flash crowd in adaptive and
-//	    # static rate modes, diurnal ramp, slow loris, 1k-tenant churn)
+//	    # static rate modes, diurnal ramp, slow loris, 10k-tenant churn)
 //	    # with per-scenario SLO verdicts; exits nonzero on any failure
 package main
 
@@ -35,6 +35,7 @@ import (
 	"liferaft/internal/exper"
 	"liferaft/internal/geom"
 	"liferaft/internal/segment"
+	"liferaft/internal/trace"
 	"liferaft/internal/workload"
 )
 
@@ -75,12 +76,17 @@ func main() {
 // throughput figure plus the scheduler hot-path probes at three scales.
 // Future PRs append their own snapshots, forming a perf trajectory.
 type benchSnapshot struct {
-	GeneratedBy     string            `json:"generated_by"`
-	VQPS            float64           `json:"vqps"`
-	PicksPerSec     float64           `json:"picks_per_sec_10k"`
-	PickSpeedup     float64           `json:"pick_speedup_10k"`
-	StepAllocsPerOp float64           `json:"step_allocs_per_op_10k"`
-	Probes          []core.PerfReport `json:"probes"`
+	GeneratedBy     string  `json:"generated_by"`
+	VQPS            float64 `json:"vqps"`
+	PicksPerSec     float64 `json:"picks_per_sec_10k"`
+	PickSpeedup     float64 `json:"pick_speedup_10k"`
+	StepAllocsPerOp float64 `json:"step_allocs_per_op_10k"`
+	// TracingOverheadPct is the virtual-throughput cost of tracing every
+	// query on the CI replay (untraced vs traced); tracing spends no
+	// virtual time, so anything beyond rounding noise means the
+	// instrumentation perturbed the schedule. Budgeted under 5%.
+	TracingOverheadPct float64           `json:"tracing_overhead_pct"`
+	Probes             []core.PerfReport `json:"probes"`
 	// RealIO reports the -data-dir replay: the first figures in this
 	// repo measured against actual disks instead of the analytic model.
 	RealIO *realIOSnapshot `json:"real_io,omitempty"`
@@ -161,6 +167,13 @@ func runBenchJSON(path, dataDir string) error {
 	fmt.Printf("end-to-end: %.2f virtual queries/sec over %d queries (%s scale)\n",
 		snap.VQPS, stats.Completed, scale.Name)
 
+	overhead, err := measureTracingOverhead(env)
+	if err != nil {
+		return err
+	}
+	snap.TracingOverheadPct = overhead
+	fmt.Printf("tracing overhead: %+.2f%% vqps with every query traced (budget 5%%)\n", overhead)
+
 	if fixture != nil {
 		real, err := fixture.replay()
 		if err != nil {
@@ -179,7 +192,57 @@ func runBenchJSON(path, dataDir string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if overhead > 5 {
+		return fmt.Errorf("tracing overhead %.2f%% exceeds the 5%% budget", overhead)
+	}
 	return nil
+}
+
+// measureTracingOverhead replays the standard CI trace untraced and
+// then with every query carrying a span recorder (Finish included), and
+// compares virtual throughput. Tracing spends no virtual time, so any
+// vqps delta means the instrumentation perturbed the schedule itself —
+// the gate keeps it under 5%. Wall-clock span-recording cost is covered
+// by the allocation benchmarks in internal/trace; a wall-clock gate
+// here would flake on shared CI hardware, where run-to-run jitter
+// exceeds the signal.
+func measureTracingOverhead(env *exper.Env) (float64, error) {
+	replay := func(traced bool) (float64, error) {
+		jobs := env.Jobs
+		var rec *trace.Recorder
+		var trs []*trace.Trace
+		if traced {
+			rec = trace.New(trace.Config{SlowThreshold: time.Hour})
+			jobs = make([]core.Job, len(env.Jobs))
+			trs = make([]*trace.Trace, len(env.Jobs))
+			for i, j := range env.Jobs {
+				jobs[i] = j
+				trs[i] = rec.Start("bench", j.ID)
+				jobs[i].Trace = trs[i]
+			}
+		}
+		cfg, _ := core.NewVirtual(env.Part, 0.5, false)
+		_, stats, err := core.Run(cfg, jobs, env.SaturatedOffsets())
+		if err != nil {
+			return 0, err
+		}
+		for _, tr := range trs {
+			rec.Finish(tr)
+		}
+		return stats.Throughput(), nil
+	}
+	base, err := replay(false)
+	if err != nil {
+		return 0, err
+	}
+	traced, err := replay(true)
+	if err != nil {
+		return 0, err
+	}
+	if base <= 0 {
+		return 0, fmt.Errorf("untraced replay completed no queries")
+	}
+	return 100 * (base - traced) / base, nil
 }
 
 // realFixture is the resolved -data-dir replay environment: the opened

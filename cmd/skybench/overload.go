@@ -1,7 +1,7 @@
 // Overload scenario harness: skybench -overload BENCH_5.json drives the
 // serving layer through four shapes of trouble — a flash crowd (in both
 // adaptive and static rate modes), a diurnal ramp, a slow-loris tenant,
-// and a 1,000-tenant churn — against a 4-shard virtual-clock engine, and
+// and a 10,000-tenant churn — against a 4-shard virtual-clock engine, and
 // writes a per-scenario SLO verdict for the trajectory file.
 //
 // The acceptance bar mirrors the serving layer's load test: a steady
@@ -69,6 +69,7 @@ type overloadScenario struct {
 	// Churn-scenario registry accounting.
 	TenantsServed   int `json:"tenants_served,omitempty"`
 	AdmissionSeries int `json:"admission_series,omitempty"`
+	ScrapeBytes     int `json:"scrape_bytes,omitempty"`
 }
 
 // overloadFixture is the shared workload: one archive partition plus the
@@ -198,6 +199,11 @@ func scrapeValue(reg *metric.Registry, prefix string) (val float64, samples int)
 		}
 		if !strings.HasPrefix(line, prefix) {
 			continue
+		}
+		// Histogram bucket lines may carry an OpenMetrics exemplar
+		// ("... # {trace_id=...} v"); the sample value precedes it.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		fieldsAt := strings.LastIndexByte(line, ' ')
 		if fieldsAt < 0 {
@@ -446,15 +452,21 @@ func (f *overloadFixture) slowLoris(slo time.Duration, soloP99 float64) (overloa
 	return sc, nil
 }
 
-// tenantChurn pushes 1,000 distinct tenants (two small queries each)
-// through the layer: every query must complete, and the scrape must stay
-// bounded — tenant-labeled families fold the long tail into the "_other"
-// overflow series instead of growing per-tenant forever.
+// tenantChurn pushes 10,000 distinct tenants (two small queries each)
+// through the layer: every query must complete, the scrape must stay
+// bounded in series AND in bytes — tenant-labeled families fold the long
+// tail into the "_other" overflow series instead of growing per-tenant
+// forever, and the whole exposition stays under a fixed byte budget no
+// matter how many tenants have come and gone.
 func (f *overloadFixture) tenantChurn() (overloadScenario, error) {
-	const tenants, perTenant, workers = 1000, 2, 16
+	const tenants, perTenant, workers = 10_000, 2, 16
+	// scrapeBudgetBytes bounds the full /metrics rendering after the
+	// churn: 2 MiB is roomy for 256 live tenant series plus engine
+	// families, and far under what 10k unfolded tenants would produce.
+	const scrapeBudgetBytes = 2 << 20
 	sc := overloadScenario{
 		Name: "tenant_churn", RateMode: string(server.RateAdaptive),
-		Criterion: fmt.Sprintf("%d tenants x %d queries all complete; admission series stay capped", tenants, perTenant),
+		Criterion: fmt.Sprintf("%d tenants x %d queries all complete; admission series and scrape bytes stay capped", tenants, perTenant),
 	}
 	reg := metric.NewRegistry()
 	eng, err := f.newEngine(reg)
@@ -465,7 +477,10 @@ func (f *overloadFixture) tenantChurn() (overloadScenario, error) {
 	s, err := server.New(eng, server.Config{
 		MaxInFlight: 4,
 		MaxTenants:  tenants + 8,
-		Registry:    reg,
+		// Small per-tenant response reservoirs: 10k tenants at the 1024
+		// default would pin ~80 MB just for summaries.
+		ReservoirSize: 32,
+		Registry:      reg,
 	})
 	if err != nil {
 		return sc, err
@@ -507,12 +522,19 @@ func (f *overloadFixture) tenantChurn() (overloadScenario, error) {
 	sc.Rejected = failed.Load()
 	sc.TenantsServed = tenants
 	_, sc.AdmissionSeries = scrapeValue(reg, `liferaft_admission_total{`)
+	var scrape strings.Builder
+	if err := reg.WriteText(&scrape); err != nil {
+		return sc, err
+	}
+	sc.ScrapeBytes = scrape.Len()
 	// Cap is 256 live series per tenant-labeled family plus the "_other"
 	// overflow row; a small slack covers the decision label dimension.
 	const seriesBound = 257 * 2
-	sc.Pass = completed.Load() == int64(tenants*perTenant) && sc.AdmissionSeries <= seriesBound
-	sc.Detail = fmt.Sprintf("%d completed, %d failed, %d admission samples in scrape (bound %d)",
-		completed.Load(), failed.Load(), sc.AdmissionSeries, seriesBound)
+	sc.Pass = completed.Load() == int64(tenants*perTenant) &&
+		sc.AdmissionSeries <= seriesBound &&
+		sc.ScrapeBytes <= scrapeBudgetBytes
+	sc.Detail = fmt.Sprintf("%d completed, %d failed, %d admission samples, %d-byte scrape (bounds %d / %d)",
+		completed.Load(), failed.Load(), sc.AdmissionSeries, sc.ScrapeBytes, seriesBound, scrapeBudgetBytes)
 	return sc, nil
 }
 

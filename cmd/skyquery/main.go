@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"liferaft/internal/federation"
 	"liferaft/internal/skyql"
+	"liferaft/internal/trace"
 )
 
 func main() {
@@ -37,15 +39,16 @@ func main() {
 	limit := flag.Int("limit", 20, "max rows to print")
 	seed := flag.Int64("seed", 1, "subsampling seed")
 	queryText := flag.String("query", "", "SkyQL query text (overrides the per-field flags)")
+	traced := flag.Bool("trace", false, "trace the query across every hop and print the span tree (remote nodes need tracing enabled)")
 	flag.Parse()
 
-	if err := run(*nodes, *archives, *ra, *dec, *radius, *match, *sel, *magLo, *magHi, *limit, *seed, *queryText); err != nil {
+	if err := run(*nodes, *archives, *ra, *dec, *radius, *match, *sel, *magLo, *magHi, *limit, *seed, *queryText, *traced); err != nil {
 		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, archives string, ra, dec, radius, match, sel, magLo, magHi float64, limit int, seed int64, queryText string) error {
+func run(nodes, archives string, ra, dec, radius, match, sel, magLo, magHi float64, limit int, seed int64, queryText string, traced bool) error {
 	if nodes == "" {
 		return fmt.Errorf("-nodes is required (e.g. sdss=127.0.0.1:7701,twomass=127.0.0.1:7702)")
 	}
@@ -87,7 +90,20 @@ func run(nodes, archives string, ra, dec, radius, match, sel, magLo, magHi float
 		}
 		archives = strings.Join(q.Archives, ",")
 	}
-	rs, err := portal.Execute(q)
+	ctx := context.Background()
+	var rec *trace.Recorder
+	var tr *trace.Trace
+	if traced {
+		rec = trace.New(trace.Config{})
+		tr = rec.Start("skyquery", q.ID)
+		ctx = trace.NewContext(ctx, tr)
+	}
+	rs, err := portal.ExecuteCtx(ctx, q)
+	if traced {
+		// Print the tree even on failure: an error-annotated hop span
+		// shows which archive the plan died at.
+		printTrace(rec.Finish(tr))
+	}
 	if err != nil {
 		return err
 	}
@@ -111,4 +127,58 @@ func run(nodes, archives string, ra, dec, radius, match, sel, magLo, magHi float
 		fmt.Printf("  row %3d: %s\n", i, strings.Join(parts, "  "))
 	}
 	return nil
+}
+
+// printTrace renders the capture as a tree: portal-side steps in start
+// order, each hop's stitched node-side spans nested under it.
+func printTrace(d trace.Data) {
+	fmt.Printf("trace %s: %d spans, %.3fs\n", d.TraceID, len(d.Spans), d.ResponseSec)
+	spans := append([]trace.Span(nil), d.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	byNode := make(map[string][]trace.Span)
+	var top []trace.Span
+	for _, sp := range spans {
+		if sp.Node != "" && sp.Stage != trace.StageFedMatch && sp.Stage != trace.StageFedExtract {
+			byNode[sp.Node] = append(byNode[sp.Node], sp)
+			continue
+		}
+		top = append(top, sp)
+	}
+	pr := func(indent string, sp trace.Span) {
+		line := fmt.Sprintf("%s%-18s +%9.3fms %10.3fms", indent, sp.Stage,
+			sp.Start.Sub(d.Start).Seconds()*1e3, sp.End.Sub(sp.Start).Seconds()*1e3)
+		if sp.Node != "" {
+			line += "  @" + sp.Node
+		}
+		if sp.Attr != "" {
+			line += "  " + sp.Attr
+		}
+		if sp.N != 0 {
+			line += fmt.Sprintf("  n=%d", sp.N)
+		}
+		if sp.Key != 0 {
+			line += fmt.Sprintf("  bucket=%d", sp.Key)
+		}
+		if sp.Score != 0 {
+			line += fmt.Sprintf("  ut=%.4g", sp.Score)
+		}
+		if sp.Err != "" {
+			line += "  err=" + sp.Err
+		}
+		fmt.Println(line)
+	}
+	for _, sp := range top {
+		pr("  ", sp)
+		if sp.Stage == trace.StageFedMatch {
+			for _, c := range byNode[sp.Node] {
+				pr("      ", c)
+			}
+		}
+	}
+	if d.CacheHits+d.CacheMisses > 0 {
+		fmt.Printf("  cache: %d hits, %d misses\n", d.CacheHits, d.CacheMisses)
+	}
+	if d.Dropped > 0 {
+		fmt.Printf("  (%d spans dropped past the %d-span slab)\n", d.Dropped, trace.MaxSpans)
+	}
 }

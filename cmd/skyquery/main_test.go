@@ -44,30 +44,30 @@ func TestRunEndToEnd(t *testing.T) {
 	nodes := "sdss=" + sdssSrv.Addr().String() + ",twomass=" + tmSrv.Addr().String()
 
 	// Flags path.
-	if err := run(nodes, "twomass,sdss", 150, 20, 8, 5, 0.8, 0, 0, 5, 1, ""); err != nil {
+	if err := run(nodes, "twomass,sdss", 150, 20, 8, 5, 0.8, 0, 0, 5, 1, "", true); err != nil {
 		t.Fatalf("flags path: %v", err)
 	}
 	// SkyQL path.
 	q := `SELECT t.id, s.id FROM twomass t, sdss s
 	      WHERE XMATCH(t, s) < 5 AND REGION(CIRCLE, 150, 20, 8) AND SAMPLE(0.8) LIMIT 3`
-	if err := run(nodes, "", 0, 0, 0, 0, 0.5, 0, 0, 5, 1, q); err != nil {
+	if err := run(nodes, "", 0, 0, 0, 0, 0.5, 0, 0, 5, 1, q, false); err != nil {
 		t.Fatalf("skyql path: %v", err)
 	}
 	// Bad SkyQL propagates.
-	if err := run(nodes, "", 0, 0, 0, 0, 0.5, 0, 0, 5, 1, "SELECT nonsense"); err == nil {
+	if err := run(nodes, "", 0, 0, 0, 0, 0.5, 0, 0, 5, 1, "SELECT nonsense", false); err == nil {
 		t.Error("bad SkyQL should fail")
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, ""); err == nil {
+	if err := run("", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, "", false); err == nil {
 		t.Error("missing -nodes should fail")
 	}
-	if err := run("badpair", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, ""); err == nil ||
+	if err := run("badpair", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, "", false); err == nil ||
 		!strings.Contains(err.Error(), "name=addr") {
 		t.Errorf("bad pair error = %v", err)
 	}
-	if err := run("sdss=127.0.0.1:1", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, ""); err == nil {
+	if err := run("sdss=127.0.0.1:1", "a,b", 0, 0, 1, 1, 0.5, 0, 0, 5, 1, "", false); err == nil {
 		t.Error("dead node should fail")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"liferaft/internal/disk"
 	"liferaft/internal/shard"
 	"liferaft/internal/simclock"
+	"liferaft/internal/trace"
 	"liferaft/internal/xmatch"
 )
 
@@ -173,6 +174,11 @@ type Job struct {
 	ID      uint64
 	Objects []xmatch.WorkloadObject
 	Pred    xmatch.Predicate
+	// Trace, when non-nil, collects per-stage spans for this query as the
+	// scheduler services it (admission fan-out, bucket services with
+	// strategy and Ut score, store reads, cache outcomes). nil — the
+	// default — records nothing and costs nothing on the service loop.
+	Trace *trace.Trace
 }
 
 // Result reports one completed query.

@@ -224,7 +224,7 @@ func (l *Live) submitSharded(job Job) (<-chan Result, error) {
 		if len(objs) == 0 {
 			continue
 		}
-		c, err := l.inner[s].Submit(Job{ID: job.ID, Objects: objs, Pred: job.Pred})
+		c, err := l.inner[s].Submit(Job{ID: job.ID, Objects: objs, Pred: job.Pred, Trace: job.Trace})
 		if err != nil {
 			l.mu.Unlock()
 			return nil, err

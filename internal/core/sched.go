@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"liferaft/internal/cache"
+	"liferaft/internal/trace"
 	"liferaft/internal/xmatch"
 )
 
@@ -92,6 +93,8 @@ type queryState struct {
 	// owning queues instead of sweeping all of them. May contain
 	// duplicates; cancel sorts and skips them.
 	buckets []int
+	// trace mirrors job.Trace (nil when the query is untraced).
+	trace *trace.Trace
 }
 
 // scheduler is the workload manager plus join evaluator of Figure 3. It is
@@ -145,6 +148,15 @@ type scheduler struct {
 	// skips all instrumentation, keeping the service loop zero-alloc and
 	// bit-identical to the uninstrumented engine.
 	obs *EngineObs
+
+	// traced counts in-flight queries carrying a trace. While zero —
+	// tracing disabled or no traced query admitted — the service loop
+	// skips every span-recording branch, keeping its steady state
+	// zero-alloc. svcTraceID carries the last serviced traced query's ID
+	// out of serviceBucket so step can attach it to the pick-latency
+	// histogram as an exemplar.
+	traced     int
+	svcTraceID trace.ID
 }
 
 func newScheduler(cfg Config) (*scheduler, error) {
@@ -302,6 +314,7 @@ func (s *scheduler) admit(job Job, arrived time.Time) (done *Result) {
 		arrived: arrived,
 		result:  Result{QueryID: job.ID, Arrived: arrived},
 		buckets: make([]int, 0, len(job.Objects)),
+		trace:   job.Trace,
 	}
 	part := s.cfg.Store.Partition()
 	weight := s.ageWeight(len(job.Objects))
@@ -317,9 +330,16 @@ func (s *scheduler) admit(job Job, arrived time.Time) (done *Result) {
 			qs.result.Assignments++
 		}
 	}
+	qs.trace.Add(trace.Span{
+		Stage: trace.StageEngineAdmit, Start: arrived, End: arrived,
+		N: int64(qs.result.Assignments),
+	})
 	if qs.remaining == 0 {
 		qs.result.Completed = arrived
 		return &qs.result
+	}
+	if qs.trace != nil {
+		s.traced++
 	}
 	s.queries[job.ID] = qs
 	if job.Pred != nil {
@@ -450,6 +470,10 @@ func (s *scheduler) cancel(qid uint64, now time.Time) *Result {
 	}
 	if qs.remaining != 0 {
 		panic(fmt.Sprintf("core: query %d cancelled with %d unaccounted objects", qid, qs.remaining))
+	}
+	if qs.trace != nil {
+		s.traced--
+		qs.trace.Add(trace.Span{Stage: trace.StageCancel, Start: now, End: now, Err: "cancelled"})
 	}
 	delete(s.queries, qid)
 	delete(s.preds, qid)
@@ -635,11 +659,22 @@ func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
 	if s.obs != nil {
 		t0 := time.Now()
 		idx, ok := s.pick(now)
-		s.obs.pick.Observe(time.Since(t0).Seconds())
+		d := time.Since(t0).Seconds()
 		if !ok {
+			s.obs.pick.Observe(d)
 			return nil, false
 		}
-		return s.serviceBucket(idx, now), true
+		// When the service touches a traced query, attach its trace ID to
+		// the pick-latency observation as an exemplar — a slow pick on a
+		// dashboard then links to a full schedule forensics capture.
+		s.svcTraceID = 0
+		completed = s.serviceBucket(idx, now)
+		if s.svcTraceID != 0 {
+			s.obs.pick.ObserveExemplar(d, s.svcTraceID.String())
+		} else {
+			s.obs.pick.Observe(d)
+		}
+		return completed, true
 	}
 	idx, ok := s.pick(now)
 	if !ok {
@@ -652,6 +687,15 @@ func (s *scheduler) step(now time.Time) (completed []Result, ok bool) {
 // step so the golden-equivalence test can interpose on the pick.
 func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 	q := s.queues[idx]
+	// Tracing state, all gated on at least one traced query being in
+	// flight so the untraced steady state pays one integer compare and
+	// nothing else. The Ut score is computed before any queue mutation so
+	// the span records the value the pick saw.
+	traced := s.traced > 0
+	var svcUt float64
+	if traced {
+		svcUt = s.workloadThroughput(q)
+	}
 	items := q.items
 	s.pendingItems -= len(items)
 	s.detachQueue(q)
@@ -683,10 +727,18 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 		wos = append(wos, it.wo)
 	}
 	s.wosBuf = wos
+	var readT0, readT1 time.Time
+	var readKind string
 	switch strategy {
 	case xmatch.Scan:
 		if !inMem {
+			if traced {
+				readT0 = s.cfg.Clock.Now()
+			}
 			objs, _ = s.cfg.Store.ReadBucket(idx)
+			if traced {
+				readT1, readKind = s.cfg.Clock.Now(), "scan"
+			}
 			s.cachePut(idx, objs)
 		}
 		s.cfg.Disk.MatchObjects(count)
@@ -698,7 +750,13 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 			s.obs.scanSvc.Inc()
 		}
 	case xmatch.Index:
+		if traced {
+			readT0 = s.cfg.Clock.Now()
+		}
 		objs, _ = s.cfg.Store.Probe(idx, count)
+		if traced {
+			readT1, readKind = s.cfg.Clock.Now(), "probe"
+		}
 		s.cfg.Disk.MatchObjects(count)
 		if s.cfg.MaterializeResults {
 			pairs = xmatch.IndexJoin(objs, wos, s.preds)
@@ -709,6 +767,17 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 		}
 	}
 	s.stats.BucketsServed++
+	var svcAttr string
+	if traced {
+		switch {
+		case strategy == xmatch.Index:
+			svcAttr = trace.AttrIndex
+		case inMem:
+			svcAttr = trace.AttrScanHit
+		default:
+			svcAttr = trace.AttrScanCold
+		}
+	}
 
 	// Distribute results and retire work units.
 	end := s.cfg.Clock.Now()
@@ -733,10 +802,27 @@ func (s *scheduler) serviceBucket(idx int, now time.Time) []Result {
 			qs.result.Pairs = append(qs.result.Pairs, ps...)
 			qs.result.Matches += len(ps)
 		}
+		if qs.trace != nil {
+			var read *trace.Span
+			if readKind != "" {
+				read = &trace.Span{
+					Stage: trace.StageStoreRead, Start: readT0, End: readT1,
+					Attr: readKind, Key: int64(idx),
+				}
+			}
+			qs.trace.ServiceVisit(trace.Span{
+				Stage: trace.StageService, Start: now, End: end,
+				Attr: svcAttr, N: int64(n), Key: int64(idx), Score: svcUt,
+			}, read, inMem)
+			s.svcTraceID = qs.trace.ID()
+		}
 		if qs.remaining < 0 {
 			panic(fmt.Sprintf("core: query %d over-completed", qid))
 		}
 		if qs.remaining == 0 {
+			if qs.trace != nil {
+				s.traced--
+			}
 			qs.result.Completed = end
 			completed = append(completed, qs.result)
 			delete(s.queries, qid)

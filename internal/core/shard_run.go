@@ -63,7 +63,7 @@ func runSharded(cfg Config, jobs []Job, offsets []time.Duration) ([]Result, RunS
 			if len(fan[s]) == 0 {
 				continue
 			}
-			subJobs[s] = append(subJobs[s], Job{ID: j.ID, Objects: fan[s], Pred: j.Pred})
+			subJobs[s] = append(subJobs[s], Job{ID: j.ID, Objects: fan[s], Pred: j.Pred, Trace: j.Trace})
 			subOffs[s] = append(subOffs[s], offsets[i])
 			width++
 		}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"liferaft/internal/metric"
+	"liferaft/internal/trace"
+)
+
+// TestSchedulerTracedQuerySpans drives the scheduler directly with one
+// traced query among untraced ones and checks the span record: the
+// admission fan-out, every bucket service that touched the query (with
+// strategy, bucket index, and a positive Ut score), store reads, and
+// cache attribution — and that the traced-query counter returns to zero
+// so the fast path re-engages.
+func TestSchedulerTracedQuerySpans(t *testing.T) {
+	part, jobs := fixture(t)
+	cfg, clk := NewVirtual(part, 0.25, false)
+	s, err := newScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.New(trace.Config{Now: clk.Now})
+	traced := jobs[0]
+	traced.Trace = rec.Start("core-test", traced.ID)
+
+	now := clk.Now()
+	if r := s.admit(traced, now); r != nil {
+		t.Fatal("traced fixture job completed on admit")
+	}
+	if s.traced != 1 {
+		t.Fatalf("traced counter = %d, want 1", s.traced)
+	}
+	for _, j := range jobs[1:4] {
+		s.admit(j, now)
+	}
+	for s.pendingWork() {
+		if _, ok := s.step(clk.Now()); !ok {
+			t.Fatal("pending work but no step")
+		}
+	}
+	if s.traced != 0 {
+		t.Fatalf("traced counter = %d after drain, want 0", s.traced)
+	}
+
+	d := rec.Finish(traced.Trace)
+	var admitN, svcN int64
+	var services, reads int
+	for _, sp := range d.Spans {
+		switch sp.Stage {
+		case trace.StageEngineAdmit:
+			admitN = sp.N
+		case trace.StageService:
+			services++
+			svcN += sp.N
+			if sp.Attr != trace.AttrScanHit && sp.Attr != trace.AttrScanCold && sp.Attr != trace.AttrIndex {
+				t.Errorf("service span has bad strategy %q", sp.Attr)
+			}
+			if sp.Score <= 0 {
+				t.Errorf("service span on bucket %d has Ut score %v, want > 0", sp.Key, sp.Score)
+			}
+			if sp.End.Before(sp.Start) {
+				t.Errorf("service span ends before it starts: %+v", sp)
+			}
+		case trace.StageStoreRead:
+			reads++
+			if sp.Attr != "scan" && sp.Attr != "probe" {
+				t.Errorf("store_read span has bad kind %q", sp.Attr)
+			}
+			if !sp.End.After(sp.Start) {
+				t.Errorf("store_read span has no duration: %+v", sp)
+			}
+		}
+	}
+	if admitN == 0 {
+		t.Fatal("no engine_admit span")
+	}
+	if services == 0 {
+		t.Fatal("no engine_service spans")
+	}
+	if svcN+int64(d.Dropped) < admitN {
+		// Every assignment retires through some service span (modulo slab
+		// overflow, counted in Dropped).
+		t.Fatalf("service spans retire %d units (+%d dropped), admit fanned out %d", svcN, d.Dropped, admitN)
+	}
+	if reads == 0 {
+		t.Fatal("no store_read spans (fixture should miss cache at least once)")
+	}
+	if d.CacheHits+d.CacheMisses != int64(services) {
+		t.Fatalf("cache outcomes %d+%d, want one per service (%d)",
+			d.CacheHits, d.CacheMisses, services)
+	}
+}
+
+// TestSchedulerTracedCancelSpan: cancelling a traced query records an
+// error-annotated cancel span and releases the traced counter.
+func TestSchedulerTracedCancelSpan(t *testing.T) {
+	part, jobs := fixture(t)
+	cfg, clk := NewVirtual(part, 0.5, false)
+	s, err := newScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New(trace.Config{Now: clk.Now})
+	job := jobs[0]
+	job.Trace = rec.Start("core-test", job.ID)
+	now := clk.Now()
+	if r := s.admit(job, now); r != nil {
+		t.Fatal("fixture job completed on admit")
+	}
+	if r := s.cancel(job.ID, now.Add(time.Second)); r == nil || !r.Cancelled {
+		t.Fatalf("cancel = %+v", r)
+	}
+	if s.traced != 0 {
+		t.Fatalf("traced counter = %d after cancel, want 0", s.traced)
+	}
+	d := rec.Finish(job.Trace)
+	found := false
+	for _, sp := range d.Spans {
+		if sp.Stage == trace.StageCancel && sp.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no error-annotated cancel span in %+v", d.Spans)
+	}
+}
+
+// TestRunPickExemplar: with engine metrics registered and a traced job in
+// the replay, the pick-latency histogram carries at least one exemplar
+// linking to that job's trace ID.
+func TestRunPickExemplar(t *testing.T) {
+	part, jobs := fixture(t)
+	cfg, clk := NewVirtual(part, 0.25, false)
+	reg := metric.NewRegistry()
+	cfg.Metrics = NewEngineMetrics(reg)
+
+	rec := trace.New(trace.Config{Now: clk.Now})
+	run := append([]Job(nil), jobs[:8]...)
+	tr := rec.Start("core-test", run[0].ID)
+	run[0].Trace = tr
+
+	if _, _, err := Run(cfg, run, satOffsets(len(run))); err != nil {
+		t.Fatal(err)
+	}
+	rec.Finish(tr)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	marker := `# {trace_id="` + tr.ID().String() + `"}`
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "liferaft_engine_pick_seconds_bucket") && strings.Contains(line, marker) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no pick exemplar for trace %s in scrape:\n%s", tr.ID(), out)
+	}
+}
+
+// TestUntracedJobUnchanged: replaying without traces must leave results
+// and schedule statistics identical to the same replay with one traced
+// job — tracing observes the schedule, it must not perturb it.
+func TestUntracedJobUnchanged(t *testing.T) {
+	part, jobs := fixture(t)
+	run := func(withTrace bool) ([]Result, RunStats) {
+		cfg, clk := NewVirtual(part, 0.25, true)
+		js := append([]Job(nil), jobs[:10]...)
+		var rec *trace.Recorder
+		if withTrace {
+			rec = trace.New(trace.Config{Now: clk.Now})
+			for i := range js {
+				js[i].Trace = rec.Start("core-test", js[i].ID)
+			}
+		}
+		res, stats := mustRun(t, cfg, js, satOffsets(len(js)))
+		return res, stats
+	}
+	resA, statsA := run(false)
+	resB, statsB := run(true)
+	if len(resA) != len(resB) {
+		t.Fatalf("result counts differ: %d vs %d", len(resA), len(resB))
+	}
+	for i := range resA {
+		if resA[i].QueryID != resB[i].QueryID || resA[i].Matches != resB[i].Matches ||
+			!resA[i].Completed.Equal(resB[i].Completed) {
+			t.Fatalf("result %d differs: %+v vs %+v", i, resA[i], resB[i])
+		}
+	}
+	if statsA.BucketsServed != statsB.BucketsServed || statsA.ScanServices != statsB.ScanServices ||
+		statsA.IndexServices != statsB.IndexServices {
+		t.Fatalf("schedule stats differ: %+v vs %+v", statsA, statsB)
+	}
+}

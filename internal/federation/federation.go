@@ -25,6 +25,7 @@ import (
 	"liferaft/internal/htm"
 	"liferaft/internal/server"
 	"liferaft/internal/simclock"
+	"liferaft/internal/trace"
 	"liferaft/internal/xmatch"
 )
 
@@ -73,6 +74,12 @@ type MatchRequest struct {
 	// empty means the default tenant. Ignored by nodes without a serving
 	// layer (NodeConfig.Serving).
 	Tenant string
+	// TraceID, when non-zero, asks the node to record the cross-match
+	// into a continuation of the caller's trace (NodeConfig.Tracer) and
+	// return the spans in MatchResponse.Spans. Zero disables tracing for
+	// the hop. Old peers ignore the field (gob skips unknown fields), so
+	// the addition is wire-compatible.
+	TraceID uint64
 }
 
 // MatchPair is one (local, shipped) match.
@@ -87,6 +94,12 @@ type MatchResponse struct {
 	// Elapsed is the node-side processing time (virtual or real,
 	// depending on the node's clock).
 	Elapsed time.Duration
+	// Spans carries the node-side trace continuation when the request
+	// asked for one (MatchRequest.TraceID): span times are nanosecond
+	// offsets from the hop's start on the node's clock, so the caller can
+	// stitch them onto its own time base (trace.Trace.Stitch) without the
+	// two clocks sharing an epoch.
+	Spans []trace.WireSpan
 }
 
 // Transport reaches one archive.
@@ -141,6 +154,11 @@ type NodeConfig struct {
 	// end. One EngineMetrics must not be shared across nodes — each node
 	// needs its own registry.
 	Metrics *core.EngineMetrics
+	// Tracer, when non-nil, lets remote callers continue their traces on
+	// this node: a MatchRequest with a TraceID gets a node-side trace
+	// continuation whose spans return in MatchResponse.Spans (and land in
+	// this node's own /debug/traces rings under the caller's trace ID).
+	Tracer *trace.Recorder
 }
 
 // Node is one archive site: a catalog, its bucket partition, and a live
@@ -152,7 +170,8 @@ type Node struct {
 	part    *bucket.Partition
 	store   *bucket.Store // closed on Close (releases a file backend)
 	engine  *core.Live
-	serving *server.Server // nil without NodeConfig.Serving
+	serving *server.Server  // nil without NodeConfig.Serving
+	tracer  *trace.Recorder // nil without NodeConfig.Tracer
 
 	mu     sync.Mutex
 	nextID uint64
@@ -196,7 +215,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ecfg.Store.Close()
 		return nil, err
 	}
-	n := &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, store: ecfg.Store, engine: eng}
+	n := &Node{name: cfg.Catalog.Name(), cat: cfg.Catalog, part: part, store: ecfg.Store, engine: eng, tracer: cfg.Tracer}
 	if cfg.Serving != nil {
 		srv, err := server.New(eng, *cfg.Serving)
 		if err != nil {
@@ -279,6 +298,22 @@ func (n *Node) MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, e
 		return MatchResponse{}, fmt.Errorf("federation: node %s: query %d: %w", n.name, req.QueryID, err)
 	}
 	radius := geom.ArcsecToRad(req.MatchRadiusArcsec)
+	// A trace reaches this node one of two ways: an in-process caller
+	// carries it in ctx (its spans record straight into the caller's
+	// trace), while a remote caller names it by ID and gets a node-side
+	// continuation on this node's own recorder — finished here so the hop
+	// lands in this node's forensics rings under the caller's trace ID,
+	// with its spans shipped back in MatchResponse.Spans for stitching.
+	tr := trace.FromContext(ctx)
+	remote := false
+	if tr == nil && req.TraceID != 0 && n.tracer != nil {
+		tr = n.tracer.StartRemote(trace.ID(req.TraceID), req.Tenant, req.QueryID)
+		if tr != nil {
+			remote = true
+			ctx = trace.NewContext(ctx, tr)
+			defer n.tracer.Finish(tr)
+		}
+	}
 	// Engine job IDs are node-local: remote query IDs from different
 	// portals may collide.
 	n.mu.Lock()
@@ -294,7 +329,7 @@ func (n *Node) MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, e
 	if req.MagLo != 0 || req.MagHi != 0 {
 		pred = xmatch.MagnitudeWindow(req.MagLo, req.MagHi)
 	}
-	job := core.Job{ID: jobID, Objects: wos, Pred: pred}
+	job := core.Job{ID: jobID, Objects: wos, Pred: pred, Trace: tr}
 	start := time.Now()
 	var (
 		ch  <-chan core.Result
@@ -325,6 +360,9 @@ func (n *Node) MatchCtx(ctx context.Context, req MatchRequest) (MatchResponse, e
 	resp := MatchResponse{Elapsed: time.Since(start)}
 	for _, p := range res.Pairs {
 		resp.Pairs = append(resp.Pairs, MatchPair{Local: fromCatalog(p.Local), Remote: fromCatalog(p.Remote)})
+	}
+	if remote {
+		resp.Spans = tr.Wire()
 	}
 	return resp, nil
 }
@@ -440,17 +478,33 @@ func (p *Portal) ExecuteCtx(ctx context.Context, q Query) (*ResultSet, error) {
 	if q.MatchRadiusArcsec <= 0 {
 		return nil, fmt.Errorf("federation: non-positive match radius")
 	}
+	// The caller's trace (if any) rides in ctx: the extraction and every
+	// hop get a portal-side span, and each hop's node-side spans are
+	// stitched in, so one capture shows the whole left-deep plan.
+	tr := trace.FromContext(ctx)
 	driving := q.Archives[0]
 	site, err := p.site(driving)
 	if err != nil {
 		return nil, err
+	}
+	var stepStart time.Time
+	if tr != nil {
+		stepStart = tr.Now()
 	}
 	ext, err := site.Extract(ExtractRequest{
 		QueryID: q.ID, RA: q.RA, Dec: q.Dec, RadiusDeg: q.RadiusDeg,
 		Selectivity: q.Selectivity, Seed: q.Seed,
 	})
 	if err != nil {
+		if tr != nil {
+			tr.Add(trace.Span{Stage: trace.StageFedExtract, Node: driving,
+				Start: stepStart, End: tr.Now(), Err: err.Error()})
+		}
 		return nil, fmt.Errorf("federation: extract at %s: %w", driving, err)
+	}
+	if tr != nil {
+		tr.Add(trace.Span{Stage: trace.StageFedExtract, Node: driving,
+			Start: stepStart, End: tr.Now(), N: int64(len(ext.Objects))})
 	}
 
 	rs := &ResultSet{
@@ -492,6 +546,10 @@ func (p *Portal) ExecuteCtx(ctx context.Context, q Query) (*ResultSet, error) {
 		mreq := MatchRequest{
 			QueryID: q.ID, MatchRadiusArcsec: q.MatchRadiusArcsec,
 			MagLo: q.MagLo, MagHi: q.MagHi, Objects: shipped, Tenant: q.Tenant,
+			TraceID: uint64(tr.ID()),
+		}
+		if tr != nil {
+			stepStart = tr.Now()
 		}
 		var resp MatchResponse
 		if ct, ok := site.(ContextTransport); ok {
@@ -500,7 +558,22 @@ func (p *Portal) ExecuteCtx(ctx context.Context, q Query) (*ResultSet, error) {
 			resp, err = site.Match(mreq)
 		}
 		if err != nil {
+			// A failed hop — a silent peer, a timeout, an overloaded node —
+			// annotates the trace instead of dropping it: the capture shows
+			// which archive the plan died at and after how long.
+			if tr != nil {
+				tr.Add(trace.Span{Stage: trace.StageFedMatch, Node: archive,
+					Start: stepStart, End: tr.Now(), N: int64(len(shipped)), Err: err.Error()})
+			}
 			return nil, fmt.Errorf("federation: match at %s: %w", archive, err)
+		}
+		if tr != nil {
+			tr.Add(trace.Span{Stage: trace.StageFedMatch, Node: archive,
+				Start: stepStart, End: tr.Now(), N: int64(len(shipped))})
+			// A TCP hop returns the node-side continuation as offsets from
+			// the hop start; rebase them onto this trace's clock. An
+			// in-process hop recorded straight into tr (Spans is empty).
+			tr.Stitch(archive, stepStart, resp.Spans)
 		}
 		rs.HopElapsed[archive] = resp.Elapsed
 

@@ -92,6 +92,20 @@ type series struct {
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64
 	total   atomic.Uint64
+
+	// exemplars[i] is the most recent trace-annotated observation that
+	// landed in bucket i (nil when none); same length as counts. Only
+	// ObserveExemplar writes here, so untraced observation paths pay
+	// nothing.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar is one trace-annotated observation, rendered after its bucket
+// line as OpenMetrics `# {trace_id="..."} value` so a dashboard spike
+// links straight to a captured trace.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // NewRegistry returns an empty registry.
@@ -205,6 +219,20 @@ func (h *Histogram) Observe(v float64) {
 	h.s.counts[i].Add(1)
 	h.s.total.Add(1)
 	addFloat(&h.s.sumBits, v)
+}
+
+// ObserveExemplar records one value and attaches traceID as the bucket's
+// exemplar (replacing any earlier one — the freshest trace is the one an
+// operator wants). An empty traceID degrades to a plain Observe. Unlike
+// Observe this allocates; call it only on already-traced requests.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.s.counts[i].Add(1)
+	h.s.total.Add(1)
+	addFloat(&h.s.sumBits, v)
+	if traceID != "" {
+		h.s.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
 }
 
 // Count returns the number of observations.
@@ -371,6 +399,7 @@ func (f *family) newSeries(labelVals []string) *series {
 	s := &series{labelVals: labelVals}
 	if f.typ == kindHistogram {
 		s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		s.exemplars = make([]atomic.Pointer[exemplar], len(f.buckets)+1)
 	}
 	return s
 }
@@ -515,17 +544,32 @@ func (f *family) writeText(b *strings.Builder) {
 	}
 }
 
-// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet,
+// appending an OpenMetrics exemplar to any bucket line that has one.
 func (f *family) writeHistogram(b *strings.Builder, s *series) {
 	var cum uint64
 	for i, ub := range f.buckets {
 		cum += s.counts[i].Load()
-		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, f.labelString(s.labelVals, formatValue(ub)), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d", f.name, f.labelString(s.labelVals, formatValue(ub)), cum)
+		f.writeExemplar(b, s, i)
+		b.WriteByte('\n')
 	}
 	cum += s.counts[len(f.buckets)].Load()
-	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, f.labelString(s.labelVals, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_bucket%s %d", f.name, f.labelString(s.labelVals, "+Inf"), cum)
+	f.writeExemplar(b, s, len(f.buckets))
+	b.WriteByte('\n')
 	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, f.labelString(s.labelVals, ""), formatValue(math.Float64frombits(s.sumBits.Load())))
 	fmt.Fprintf(b, "%s_count%s %d\n", f.name, f.labelString(s.labelVals, ""), s.total.Load())
+}
+
+// writeExemplar appends bucket i's exemplar suffix, if recorded.
+func (f *family) writeExemplar(b *strings.Builder, s *series, i int) {
+	if i >= len(s.exemplars) {
+		return
+	}
+	if ex := s.exemplars[i].Load(); ex != nil {
+		fmt.Fprintf(b, ` # {trace_id="%s"} %s`, escapeLabel(ex.traceID), formatValue(ex.value))
+	}
 }
 
 // labelString renders {k="v",...}; le, when non-empty, is appended as the

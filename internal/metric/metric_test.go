@@ -253,3 +253,91 @@ func itoa(i int) string {
 	}
 	return string(buf[p:])
 }
+
+// TestEscapeLabelTable pins the text-format escaping rules for label
+// values character by character. Exemplar emission raised the stakes:
+// a malformed escape inside `# {trace_id="..."}` breaks the whole
+// scrape, not just one series.
+func TestEscapeLabelTable(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"plain", "abc-123", "abc-123"},
+		{"backslash", `a\b`, `a\\b`},
+		{"quote", `a"b`, `a\"b`},
+		{"newline", "a\nb", `a\nb`},
+		{"all three", "\\\"\n", `\\\"\n`},
+		{"double backslash", `\\`, `\\\\`},
+		{"trailing backslash", `trail\`, `trail\\`},
+		{"carriage return passes", "a\rb", "a\rb"},
+		{"tab passes", "a\tb", "a\tb"},
+		{"utf8 passes", "αβ≠", "αβ≠"},
+		{"empty", "", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("%s: escapeLabel(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+
+	// End to end: a hostile label value renders into exactly one
+	// well-formed line.
+	r := NewRegistry()
+	v := r.NewCounterVec("liferaft_esc_total", "x", []string{"tenant"}, VecOpts{})
+	v.With("a\\b\"c\nd").Inc()
+	out := render(t, r)
+	want := `liferaft_esc_total{tenant="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing %q:\n%s", want, out)
+	}
+}
+
+// TestHistogramExemplar checks ObserveExemplar: counts behave exactly
+// like Observe, and the bucket line the value landed in carries an
+// OpenMetrics `# {trace_id="..."} value` suffix — the freshest exemplar
+// per bucket wins, and untouched buckets stay clean.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("liferaft_test_seconds", "exemplars", []float64{0.1, 1, 10})
+
+	h.Observe(0.05) // no exemplar on this bucket
+	h.ObserveExemplar(0.5, "00000000deadbeef")
+	h.ObserveExemplar(0.7, "00000000cafef00d") // same bucket: replaces
+	h.ObserveExemplar(99, "ffff0000ffff0000")  // +Inf bucket
+	h.ObserveExemplar(5, "")                   // empty id: plain observe
+
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"liferaft_test_seconds_bucket{le=\"0.1\"} 1\n", // no exemplar suffix
+		"liferaft_test_seconds_bucket{le=\"1\"} 3 # {trace_id=\"00000000cafef00d\"} 0.7\n",
+		"liferaft_test_seconds_bucket{le=\"10\"} 4\n", // empty-id observe left it clean
+		"liferaft_test_seconds_bucket{le=\"+Inf\"} 5 # {trace_id=\"ffff0000ffff0000\"} 99\n",
+		"liferaft_test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `deadbeef`) {
+		t.Error("replaced exemplar still rendered")
+	}
+}
+
+// TestHistogramVecExemplar: exemplars work on labeled histograms and
+// only on the series that recorded them.
+func TestHistogramVecExemplar(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("liferaft_test_seconds", "x", []string{"tenant"}, []float64{1}, VecOpts{})
+	v.With("a").ObserveExemplar(0.5, "0123456789abcdef")
+	v.With("b").Observe(0.5)
+	out := render(t, r)
+	if !strings.Contains(out, "liferaft_test_seconds_bucket{tenant=\"a\",le=\"1\"} 1 # {trace_id=\"0123456789abcdef\"} 0.5\n") {
+		t.Fatalf("missing exemplar on tenant a:\n%s", out)
+	}
+	if !strings.Contains(out, "liferaft_test_seconds_bucket{tenant=\"b\",le=\"1\"} 1\n") {
+		t.Fatalf("tenant b line not clean:\n%s", out)
+	}
+}

@@ -92,11 +92,16 @@ func (s *Server) controlTick(now time.Time, el time.Duration) {
 			t.bucket.setRate(r, now)
 			if s.obs != nil {
 				s.obs.rateCuts.With(t.name).Inc()
+				s.obs.cutEvents.Inc()
+				s.obs.rateLevel.Observe(r)
 			}
 		case headroom && t.bucket.rate < t.maxRate:
-			t.bucket.setRate(math.Min(t.maxRate, t.bucket.rate+aimdStep), now)
+			nr := math.Min(t.maxRate, t.bucket.rate+aimdStep)
+			t.bucket.setRate(nr, now)
 			if s.obs != nil {
 				s.obs.rateRaises.With(t.name).Inc()
+				s.obs.raiseEvent.Inc()
+				s.obs.rateLevel.Observe(nr)
 			}
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"liferaft/internal/metric"
+	"liferaft/internal/trace"
 )
 
 // Gateway is the HTTP+JSON front door of a LifeRaft node, served alongside
@@ -47,6 +48,10 @@ type GatewayConfig struct {
 	// Registry, when set, backs /metrics with the Prometheus text
 	// rendering (a /metrics request without one returns 404).
 	Registry *metric.Registry
+	// Tracer, when set, gives every /v1/query a request-scoped trace:
+	// responses carry a trace_id, latency histograms emit exemplars, and
+	// /debug/traces (+ /debug/traces/{id}) serve the forensics rings.
+	Tracer *trace.Recorder
 }
 
 // NewGateway validates cfg and builds the handler.
@@ -68,6 +73,11 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	g.mux.HandleFunc("/v1/stats", g.handleStats)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	g.mux.HandleFunc("/healthz", g.handleHealth)
+	if cfg.Tracer != nil {
+		th := cfg.Tracer.Handler()
+		g.mux.Handle("/debug/traces", th)
+		g.mux.Handle("/debug/traces/", th)
+	}
 	return g, nil
 }
 
@@ -103,6 +113,9 @@ type queryResponse struct {
 	Tenant    string  `json:"tenant"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Result    any     `json:"result"`
+	// TraceID links the response to its capture under /debug/traces/{id}
+	// (set when the gateway has a Tracer).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -110,6 +123,8 @@ type errorResponse struct {
 	// RetryAfterMillis is set on 429 responses (alongside the standard
 	// Retry-After header, which only has seconds resolution).
 	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+	// TraceID links the failure to its capture, like queryResponse.TraceID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -150,16 +165,26 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Start a request-scoped trace (no-op without a Tracer): the serving
+	// layer, engine, and federation record spans into it via the context.
+	tr := g.cfg.Tracer.Start(req.Tenant, 0)
+	ctx = trace.NewContext(ctx, tr)
+
 	start := time.Now()
 	res, err := g.cfg.Exec(ctx, req.Tenant, req.Query)
+	var traceID string
+	if tr != nil {
+		traceID = g.cfg.Tracer.Finish(tr).TraceID.String()
+	}
 	if err != nil {
-		g.writeError(w, req.Tenant, err)
+		g.writeError(w, traceID, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Tenant:    req.Tenant,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Result:    res,
+		TraceID:   traceID,
 	})
 }
 
@@ -167,7 +192,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 // 429 + Retry-After, expired deadlines to 504, client mistakes
 // (BadRequestError: SkyQL parse/compile failures) to 400, and every other
 // execution failure — a down peer, a dropped query — to 502.
-func (g *Gateway) writeError(w http.ResponseWriter, tenant string, err error) {
+func (g *Gateway) writeError(w http.ResponseWriter, traceID string, err error) {
 	var over *OverloadError
 	var bad *BadRequestError
 	switch {
@@ -180,15 +205,16 @@ func (g *Gateway) writeError(w http.ResponseWriter, tenant string, err error) {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{
 			Error:            err.Error(),
 			RetryAfterMillis: over.RetryAfter.Milliseconds(),
+			TraceID:          traceID,
 		})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), TraceID: traceID})
 	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), TraceID: traceID})
 	case errors.As(err, &bad):
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), TraceID: traceID})
 	default:
-		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error(), TraceID: traceID})
 	}
 }
 

@@ -17,6 +17,9 @@ type servingMetrics struct {
 	tenantRate *metric.GaugeVec     // tenant, at gather
 	rateCuts   *metric.CounterVec   // tenant
 	rateRaises *metric.CounterVec   // tenant
+	rateLevel  *metric.Histogram    // rate in qps after every AIMD move
+	cutEvents  *metric.Counter      // AIMD cuts across all tenants
+	raiseEvent *metric.Counter      // AIMD raises across all tenants
 	queued     *metric.Gauge
 	inFlight   *metric.Gauge
 	tenants    *metric.Gauge
@@ -65,6 +68,13 @@ func newServingMetrics(reg *metric.Registry) *servingMetrics {
 		rateRaises: reg.NewCounterVec("liferaft_aimd_rate_raises_total",
 			"AIMD additive rate increases per tenant (sustained headroom).",
 			tenant, capped),
+		rateLevel: reg.NewHistogram("liferaft_aimd_rate_level",
+			"Distribution of per-tenant rates (qps) set by AIMD moves, all tenants pooled. Convergence shows as observations concentrating in one band; oscillation as a bimodal spread.",
+			metric.ExpBuckets(0.5, 2, 14)),
+		cutEvents: reg.NewCounter("liferaft_aimd_cut_events_total",
+			"AIMD multiplicative decreases across all tenants."),
+		raiseEvent: reg.NewCounter("liferaft_aimd_raise_events_total",
+			"AIMD additive increases across all tenants."),
 		queued: reg.NewGauge("liferaft_queued",
 			"Queries queued across all tenants at scrape time."),
 		inFlight: reg.NewGauge("liferaft_inflight",

@@ -32,6 +32,7 @@ import (
 	"liferaft/internal/metric"
 	"liferaft/internal/metrics"
 	"liferaft/internal/simclock"
+	"liferaft/internal/trace"
 )
 
 // Engine is the scheduling engine the serving layer feeds; *core.Live
@@ -217,6 +218,10 @@ type pending struct {
 	tenant *tenant
 	out    chan core.Result
 	enq    time.Time // serving-clock accept instant
+	// tr is the request's trace (from the submit context; nil untraced);
+	// dispatched is the serving-clock instant the fair queue released it.
+	tr         *trace.Trace
+	dispatched time.Time
 }
 
 // tenant is the per-tenant serving state.
@@ -390,6 +395,7 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tr := trace.FromContext(ctx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -402,6 +408,11 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<
 			if errors.As(err, &oe) {
 				s.obs.admission.With(tenantName, decisionRejectedTenants).Inc()
 			}
+		}
+		if tr != nil {
+			n := s.clk.Now()
+			tr.Add(trace.Span{Stage: trace.StageAdmission, Start: tr.StartTime(), End: n,
+				Attr: decisionRejectedTenants, Err: err.Error()})
 		}
 		return nil, err
 	}
@@ -420,7 +431,12 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<
 		if s.obs != nil {
 			s.obs.admission.With(t.name, decisionRejectedQueue).Inc()
 		}
-		return nil, &OverloadError{Tenant: t.name, Reason: OverloadQueue, RetryAfter: retry}
+		oe := &OverloadError{Tenant: t.name, Reason: OverloadQueue, RetryAfter: retry}
+		if tr != nil {
+			tr.Add(trace.Span{Stage: trace.StageAdmission, Start: tr.StartTime(), End: now,
+				Attr: decisionRejectedQueue, Score: retry.Seconds(), Err: oe.Error()})
+		}
+		return nil, oe
 	}
 	if t.bucket != nil && !t.bucket.unlimited() && !t.bucket.take(1, now) {
 		t.rejectedRate++
@@ -429,12 +445,26 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<
 			s.obs.admission.With(t.name, decisionRejectedRate).Inc()
 			s.obs.tbWait.With(t.name).Observe(retry.Seconds())
 		}
-		return nil, &OverloadError{Tenant: t.name, Reason: OverloadRate, RetryAfter: retry}
+		oe := &OverloadError{Tenant: t.name, Reason: OverloadRate, RetryAfter: retry}
+		if tr != nil {
+			// Score carries the token-bucket wait the client was told to
+			// back off for.
+			tr.Add(trace.Span{Stage: trace.StageAdmission, Start: tr.StartTime(), End: now,
+				Attr: decisionRejectedRate, Score: retry.Seconds(), Err: oe.Error()})
+		}
+		return nil, oe
 	}
 	if s.obs != nil {
 		s.obs.admission.With(t.name, decisionAdmitted).Inc()
 	}
-	p := &pending{job: job, ctx: ctx, tenant: t, out: make(chan core.Result, 1), enq: now}
+	if tr != nil {
+		// The span opens at trace start, so request-arrival work before
+		// the decision (parsing, tenant lookup) is attributed.
+		tr.Add(trace.Span{Stage: trace.StageAdmission, Start: tr.StartTime(), End: now, Attr: decisionAdmitted})
+		// The engine records its spans into the same trace.
+		job.Trace = tr
+	}
+	p := &pending{job: job, ctx: ctx, tenant: t, out: make(chan core.Result, 1), enq: now, tr: tr}
 	s.fq.push(t.flow, p)
 	s.cond.Broadcast()
 	return p.out, nil
@@ -455,13 +485,17 @@ func (s *Server) dispatch() {
 			return
 		}
 		p := s.fq.pop()
+		p.dispatched = s.clk.Now()
 		if s.obs != nil {
-			s.obs.queueWait.With(p.tenant.name).Observe(s.clk.Now().Sub(p.enq).Seconds())
+			s.obs.queueWait.With(p.tenant.name).Observe(p.dispatched.Sub(p.enq).Seconds())
 		}
+		p.tr.Add(trace.Span{Stage: trace.StageQueueWait, Start: p.enq, End: p.dispatched})
 		if p.ctx.Err() != nil {
 			// Abandoned while queued: resolve without touching the
 			// engine at all.
 			p.tenant.cancelled++
+			p.tr.Add(trace.Span{Stage: trace.StageEngine, Start: p.dispatched, End: p.dispatched,
+				Err: "cancelled while queued"})
 			p.out <- core.Result{QueryID: p.job.ID, Arrived: p.enq, Completed: s.clk.Now(), Cancelled: true}
 			close(p.out)
 			continue
@@ -495,8 +529,12 @@ func (s *Server) await(p *pending, ch <-chan core.Result) {
 	switch {
 	case !ok:
 		p.tenant.failed++
+		p.tr.Add(trace.Span{Stage: trace.StageEngine, Start: p.dispatched, End: s.clk.Now(),
+			Err: "engine closed before completion"})
 	case r.Cancelled:
 		p.tenant.cancelled++
+		p.tr.Add(trace.Span{Stage: trace.StageEngine, Start: p.dispatched, End: r.Completed,
+			Err: "cancelled"})
 	default:
 		p.tenant.completed++
 		p.tenant.winCompleted++
@@ -508,8 +546,17 @@ func (s *Server) await(p *pending, ch <-chan core.Result) {
 			d = 0
 		}
 		p.tenant.resp.Add(d.Seconds())
+		p.tr.Add(trace.Span{Stage: trace.StageEngine, Start: p.dispatched, End: r.Completed,
+			N: int64(r.Matches)})
 		if s.obs != nil {
-			s.obs.response.With(p.tenant.name).Observe(d.Seconds())
+			// A traced request's response observation carries its trace ID
+			// as an OpenMetrics exemplar: the p99 spike on a dashboard
+			// links straight to the forensics capture.
+			if id := p.tr.ID(); id != 0 {
+				s.obs.response.With(p.tenant.name).ObserveExemplar(d.Seconds(), id.String())
+			} else {
+				s.obs.response.With(p.tenant.name).Observe(d.Seconds())
+			}
 		}
 		if s.cfg.RateMode == RateAdaptive {
 			s.ctlWindow = append(s.ctlWindow, d.Seconds())

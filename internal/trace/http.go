@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Summary is the index-listing shape for /debug/traces: everything an
+// operator needs to pick a trace, without the span payload.
+type Summary struct {
+	TraceID     ID      `json:"trace_id"`
+	Tenant      string  `json:"tenant,omitempty"`
+	QueryID     uint64  `json:"query_id,omitempty"`
+	ResponseSec float64 `json:"response_sec"`
+	Spans       int     `json:"spans"`
+	Slow        bool    `json:"slow,omitempty"`
+	Err         string  `json:"err,omitempty"` // first span error, if any
+}
+
+// index is the /debug/traces response body.
+type index struct {
+	Started          uint64    `json:"started"`
+	Finished         uint64    `json:"finished"`
+	SlowCount        uint64    `json:"slow_count"`
+	SlowThresholdSec float64   `json:"slow_threshold_sec"`
+	Slow             []Summary `json:"slow"`
+	Recent           []Summary `json:"recent"`
+}
+
+func summarize(ds []Data) []Summary {
+	out := make([]Summary, len(ds))
+	for i, d := range ds {
+		s := Summary{TraceID: d.TraceID, Tenant: d.Tenant, QueryID: d.QueryID,
+			ResponseSec: d.ResponseSec, Spans: len(d.Spans), Slow: d.Slow}
+		for _, sp := range d.Spans {
+			if sp.Err != "" {
+				s.Err = sp.Err
+				break
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Handler serves the forensics endpoints:
+//
+//	GET /debug/traces        — JSON index: counters + slow and recent summaries
+//	GET /debug/traces/{id}   — one full trace (spans included) by hex ID
+//
+// Mount it at both "/debug/traces" and "/debug/traces/" on a ServeMux.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.TrimPrefix(req.URL.Path, "/debug/traces")
+		rest = strings.Trim(rest, "/")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if rest == "" {
+			started, finished, slowN := r.Stats()
+			enc.Encode(index{
+				Started: started, Finished: finished, SlowCount: slowN,
+				SlowThresholdSec: r.slowThreshold.Seconds(),
+				Slow:             summarize(r.Slow()),
+				Recent:           summarize(r.Recent()),
+			})
+			return
+		}
+		id, err := ParseID(rest)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		d, ok := r.Get(id)
+		if !ok {
+			http.Error(w, "trace not found (evicted or never finished)", http.StatusNotFound)
+			return
+		}
+		enc.Encode(d)
+	})
+}
+
+// NewContext and FromContext carry a *Trace through a request's context
+// so the serving layer and engine can record spans without new plumbing
+// through every signature.
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr. A nil tr returns ctx unchanged.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

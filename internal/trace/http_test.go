@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextCarry(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start("t", 1)
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("context did not carry the trace")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace should leave ctx unchanged")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("nil ctx yielded a trace")
+	}
+}
+
+func TestHandlerIndexAndDetail(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := New(Config{Now: func() time.Time { return now }, SlowThreshold: time.Second})
+	tr := r.Start("alice", 7)
+	tr.Add(Span{Stage: StageAdmission, Attr: "admitted", Start: now, End: now})
+	tr.Add(Span{Stage: StageService, Attr: AttrIndex, Key: 4, Err: "boom",
+		Start: now, End: now.Add(3 * time.Second)}) // slow
+	// Finish later than the last span: the capture must end at the span,
+	// not at the Finish call.
+	now = now.Add(4 * time.Second)
+	id := r.Finish(tr).TraceID
+
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index status %d", rec.Code)
+	}
+	var idx index
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index json: %v\n%s", err, rec.Body.String())
+	}
+	if idx.Finished != 1 || idx.SlowCount != 1 || len(idx.Slow) != 1 || len(idx.Recent) != 1 {
+		t.Fatalf("index = %+v", idx)
+	}
+	if idx.Slow[0].TraceID != id || idx.Slow[0].Err != "boom" || idx.Slow[0].Spans != 2 {
+		t.Fatalf("slow summary = %+v", idx.Slow[0])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+id.String(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("detail status %d: %s", rec.Code, rec.Body.String())
+	}
+	var d Data
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("detail json: %v", err)
+	}
+	if d.TraceID != id || len(d.Spans) != 2 || d.ResponseSec != 3 || !d.Slow {
+		t.Fatalf("detail = %+v", d)
+	}
+	if d.Spans[1].Stage != StageService || d.Spans[1].Key != 4 {
+		t.Fatalf("detail span = %+v", d.Spans[1])
+	}
+	if !strings.Contains(rec.Body.String(), `"trace_id": "`+id.String()+`"`) {
+		t.Fatal("detail body missing hex trace_id")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/ffffffffffffffff", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown id status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/zzz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status %d", rec.Code)
+	}
+}

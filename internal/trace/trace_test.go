@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := ID(0x0123456789abcdef)
+	if got := id.String(); got != "0123456789abcdef" {
+		t.Fatalf("String() = %q", got)
+	}
+	back, err := ParseID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("ParseID round trip: %v %v", back, err)
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+	b, err := json.Marshal(id)
+	if err != nil || string(b) != `"0123456789abcdef"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+	var dec ID
+	if err := json.Unmarshal(b, &dec); err != nil || dec != id {
+		t.Fatalf("UnmarshalJSON = %v, %v", dec, err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Add(Span{Stage: StageAdmission})
+	tr.Cache(true)
+	tr.Stitch("x", time.Now(), []WireSpan{{Stage: "s"}})
+	if tr.ID() != 0 || tr.Wire() != nil {
+		t.Fatal("nil Trace leaked state")
+	}
+	if d := tr.Snapshot(); len(d.Spans) != 0 {
+		t.Fatal("nil Snapshot has spans")
+	}
+
+	var r *Recorder
+	if r.Start("t", 1) != nil {
+		t.Fatal("nil Recorder started a trace")
+	}
+	if d := r.Finish(nil); d.TraceID != 0 {
+		t.Fatal("nil Finish returned data")
+	}
+	if r.Recent() != nil || r.Slow() != nil {
+		t.Fatal("nil rings non-empty")
+	}
+	if _, ok := r.Get(1); ok {
+		t.Fatal("nil Get found a trace")
+	}
+}
+
+func TestSlabBoundAndDropCount(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start("t", 1)
+	for i := 0; i < MaxSpans+10; i++ {
+		tr.Add(Span{Stage: StageService, Key: int64(i)})
+	}
+	d := r.Finish(tr)
+	if len(d.Spans) != MaxSpans {
+		t.Fatalf("spans = %d, want %d", len(d.Spans), MaxSpans)
+	}
+	if d.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", d.Dropped)
+	}
+	// Earliest spans are the ones retained.
+	if d.Spans[0].Key != 0 || d.Spans[MaxSpans-1].Key != MaxSpans-1 {
+		t.Fatalf("slab kept wrong spans: first=%d last=%d", d.Spans[0].Key, d.Spans[MaxSpans-1].Key)
+	}
+}
+
+func TestRingsAndSlowCapture(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	r := New(Config{Now: clock, SlowThreshold: time.Second, RecentCap: 4, SlowCap: 2})
+
+	finishOne := func(d time.Duration) ID {
+		tr := r.Start("t", 1)
+		advance(d)
+		data := r.Finish(tr)
+		if want := d >= time.Second; data.Slow != want {
+			t.Fatalf("dur %v: slow = %v, want %v", d, data.Slow, want)
+		}
+		return data.TraceID
+	}
+
+	slow1 := finishOne(3 * time.Second)
+	var fast []ID
+	for i := 0; i < 6; i++ { // overflow RecentCap=4
+		fast = append(fast, finishOne(time.Millisecond))
+	}
+
+	// slow1 has been evicted from recent by the fast burst, but survives
+	// in the slow ring — that is the whole point of the second ring.
+	if _, ok := r.Get(slow1); !ok {
+		t.Fatal("slow trace evicted by fast burst")
+	}
+	recent := r.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent len = %d, want 4", len(recent))
+	}
+	if recent[0].TraceID != fast[5] {
+		t.Fatalf("recent not newest-first: got %v want %v", recent[0].TraceID, fast[5])
+	}
+
+	slow2 := finishOne(2 * time.Second)
+	slow3 := finishOne(5 * time.Second)
+	slows := r.Slow()
+	if len(slows) != 2 {
+		t.Fatalf("slow len = %d, want 2", len(slows))
+	}
+	if slows[0].TraceID != slow3 || slows[1].TraceID != slow2 {
+		t.Fatalf("slow ring order wrong: %v %v", slows[0].TraceID, slows[1].TraceID)
+	}
+	started, finished, slowN := r.Stats()
+	if started != 9 || finished != 9 || slowN != 3 {
+		t.Fatalf("stats = %d/%d/%d, want 9/9/3", started, finished, slowN)
+	}
+}
+
+func TestIDsUniqueAndNonZero(t *testing.T) {
+	r := New(Config{})
+	seen := map[ID]bool{}
+	for i := 0; i < 10000; i++ {
+		id := r.Start("t", uint64(i)).ID()
+		if id == 0 {
+			t.Fatal("zero trace ID issued")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWireRoundTripStitch(t *testing.T) {
+	base := time.Unix(100, 0)
+	r := New(Config{Now: func() time.Time { return base }})
+	remote := r.StartRemote(42, "t", 7)
+	if remote.ID() != 42 {
+		t.Fatalf("StartRemote id = %v", remote.ID())
+	}
+	remote.Add(Span{Stage: StageService, Attr: AttrIndex, Key: 3, Score: 1.5, N: 9,
+		Start: base.Add(10 * time.Millisecond), End: base.Add(30 * time.Millisecond)})
+	wire := remote.Wire()
+	if len(wire) != 1 || wire[0].StartNs != 10e6 || wire[0].EndNs != 30e6 {
+		t.Fatalf("wire = %+v", wire)
+	}
+
+	local := r.Start("t", 7)
+	hop := time.Unix(500, 0)
+	local.Stitch("remote-archive", hop, wire)
+	d := local.Snapshot()
+	if len(d.Spans) != 1 {
+		t.Fatalf("stitched spans = %d", len(d.Spans))
+	}
+	s := d.Spans[0]
+	if s.Node != "remote-archive" || s.Stage != StageService || s.Key != 3 || s.Score != 1.5 || s.N != 9 {
+		t.Fatalf("stitched span = %+v", s)
+	}
+	if !s.Start.Equal(hop.Add(10*time.Millisecond)) || !s.End.Equal(hop.Add(30*time.Millisecond)) {
+		t.Fatalf("stitched rebase wrong: %v .. %v", s.Start, s.End)
+	}
+	if r.StartRemote(0, "t", 1) != nil {
+		t.Fatal("StartRemote accepted zero ID")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start("t", 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add(Span{Stage: StageService})
+				tr.Cache(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	d := r.Finish(tr)
+	if len(d.Spans)+d.Dropped != 800 {
+		t.Fatalf("spans+dropped = %d, want 800", len(d.Spans)+d.Dropped)
+	}
+	if d.CacheHits+d.CacheMisses != 800 {
+		t.Fatalf("cache counts = %d, want 800", d.CacheHits+d.CacheMisses)
+	}
+}
+
+func TestGetPrefersRings(t *testing.T) {
+	r := New(Config{RecentCap: 8, SlowCap: 2, SlowThreshold: time.Hour})
+	var ids []ID
+	for i := 0; i < 3; i++ {
+		tr := r.Start("tenant", uint64(i))
+		tr.Add(Span{Stage: StageAdmission, Attr: "admitted"})
+		ids = append(ids, r.Finish(tr).TraceID)
+	}
+	for _, id := range ids {
+		d, ok := r.Get(id)
+		if !ok || d.TraceID != id {
+			t.Fatalf("Get(%v) = %v, %v", id, d.TraceID, ok)
+		}
+	}
+	if _, ok := r.Get(ID(12345)); ok {
+		t.Fatal("Get found an unknown id")
+	}
+}
+
+func BenchmarkTraceAdd(b *testing.B) {
+	r := New(Config{})
+	tr := r.Start("t", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.mu.Lock() // reset the slab so Add stays on the store path
+		tr.spans = tr.spans[:0]
+		tr.mu.Unlock()
+		tr.Add(Span{Stage: StageService, Key: 1, Score: 2.0})
+	}
+}
+
+func BenchmarkNilTraceAdd(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(Span{Stage: StageService})
+	}
+	if testing.AllocsPerRun(100, func() { tr.Add(Span{Stage: StageService}) }) != 0 {
+		b.Fatal("nil Add allocates")
+	}
+}
