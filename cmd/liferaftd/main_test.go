@@ -10,7 +10,7 @@ func defaultOptions() options {
 	return options{
 		archive: "sdss", addr: "127.0.0.1:7701", baseN: 200_000, baseSeed: 42,
 		genLevel: 5, perBucket: 500, alpha: 0.25, cache: 20, shards: 1, virtual: true,
-		rateMode: "adaptive", sloP99: 2 * time.Second,
+		rateMode: "adaptive", sloP99: 2 * time.Second, traceSample: 1,
 	}
 }
 
@@ -47,6 +47,32 @@ func TestValidateFlags(t *testing.T) {
 		{"rate-mode static", func(o *options) { o.rateMode = "static" }, true},
 		{"rate-mode bogus", func(o *options) { o.rateMode = "turbo" }, false},
 		{"slo-p99 zero", func(o *options) { o.sloP99 = 0 }, false},
+		{"tiered", func(o *options) {
+			o.dataDir = "/tmp/lfseg"
+			o.cacheDir = "/tmp/lfcache"
+			o.cacheDiskMB = 256
+		}, true},
+		{"tiered with prefetch", func(o *options) {
+			o.dataDir = "/tmp/lfseg"
+			o.cacheDir = "/tmp/lfcache"
+			o.cacheDiskMB = 256
+			o.prefetch = 8
+			o.prefetchInflight = 4
+		}, true},
+		{"cache-dir without data-dir", func(o *options) { o.cacheDir = "/tmp/lfcache"; o.cacheDiskMB = 256 }, false},
+		{"cache-dir without capacity", func(o *options) { o.dataDir = "/tmp/lfseg"; o.cacheDir = "/tmp/lfcache" }, false},
+		{"cache-disk-mb without cache-dir", func(o *options) { o.dataDir = "/tmp/lfseg"; o.cacheDiskMB = 256 }, false},
+		{"prefetch without cache-dir", func(o *options) { o.dataDir = "/tmp/lfseg"; o.prefetch = 8 }, false},
+		{"prefetch negative", func(o *options) {
+			o.dataDir = "/tmp/lfseg"
+			o.cacheDir = "/tmp/lfcache"
+			o.cacheDiskMB = 256
+			o.prefetch = -1
+		}, false},
+		{"prefetch-inflight without cache-dir", func(o *options) { o.prefetchInflight = 2 }, false},
+		{"trace-sample zero", func(o *options) { o.traceSample = 0 }, false},
+		{"trace-sample high", func(o *options) { o.traceSample = 1.5 }, false},
+		{"trace-sample fractional", func(o *options) { o.traceSample = 0.01 }, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

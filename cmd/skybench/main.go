@@ -6,6 +6,7 @@
 //	skybench [-scale ci|mid|paper] [-exp all|fig2|fig4|fig5|fig6|fig7|fig8|indexonly|cache|ablations]
 //	skybench -bench-json BENCH_4.json [-data-dir DIR]
 //	skybench -overload BENCH_5.json
+//	skybench -tiered BENCH_8.json [-data-dir DIR]
 //
 // Examples:
 //
@@ -19,6 +20,10 @@
 //	    # serving-layer overload scenarios (flash crowd in adaptive and
 //	    # static rate modes, diurnal ramp, slow loris, 10k-tenant churn)
 //	    # with per-scenario SLO verdicts; exits nonzero on any failure
+//	skybench -tiered BENCH_8.json -data-dir /tmp/lftier
+//	    # tiered bucket cache scenario: untiered baseline vs cold/warm
+//	    # disk tier with and without the schedule-driven prefetcher,
+//	    # against a real segment store; exits nonzero on a failed gate
 package main
 
 import (
@@ -46,10 +51,18 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure the scheduler hot path (vqps, picks/sec, allocs/op), print an old-vs-new comparison, write the snapshot to this file, and exit")
 	dataDir := flag.String("data-dir", "", "with -bench-json: also replay a trace against the real-I/O segment store under this directory (built there on first use)")
 	overloadJSON := flag.String("overload", "", "run the serving-layer overload scenarios, write per-scenario SLO verdicts to this file, and exit (nonzero on any failed verdict)")
+	tieredJSON := flag.String("tiered", "", "run the tiered bucket-cache scenario (untiered baseline vs cold/warm disk tier, with and without schedule-driven prefetch) against a real segment store under -data-dir (a temp dir if unset), write the snapshot to this file, and exit (nonzero on any failed perf gate)")
 	flag.Parse()
 
 	if *overloadJSON != "" {
 		if err := runOverload(*overloadJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tieredJSON != "" {
+		if err := runTiered(*tieredJSON, *dataDir); err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 			os.Exit(1)
 		}

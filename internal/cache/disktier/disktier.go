@@ -1,0 +1,613 @@
+// Package disktier implements the persistent local-disk cache tier of
+// the tiered bucket store (RAM cache → disk tier → segment backend).
+// Entries are opaque byte regions — the segment layer caches whole
+// bucket-group block regions under their group index — stored one file
+// per entry with a checksummed header, read back through mmap so a
+// probe touches pages instead of copying the region through a pread
+// buffer.
+//
+// The tier is a cache, not a store of record: every entry is
+// reconstructible from the segment files below it, so fills are atomic
+// (write-temp, rename) but not fsynced — a torn write from a crash
+// either leaves a *.tmp file (ignored and removed at open) or a
+// renamed file whose checksum fails validation and is dropped. Either
+// way a reader falls through to the segment backend; the tier never
+// serves bytes it cannot prove correct. Eviction state (the LRU order)
+// persists across restarts in a small JSON sidecar, so a warm node
+// restarts warm.
+//
+// All methods are safe for concurrent use: foreground readers on the
+// shard scheduling goroutines share the tier with background promotion
+// goroutines. Mapped entries are reference-counted so an eviction never
+// unmaps a region a reader is still decoding from.
+package disktier
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	// magic identifies a disk-tier entry file ("LFDT").
+	magic = 0x4C464454
+	// version is bumped on incompatible layout changes.
+	version = 1
+	// headerBlock is the size of the entry header region; the cached
+	// data starts at this offset so it stays page-aligned in the mmap.
+	headerBlock = 4096
+	// headerBytes is the encoded header length within the block.
+	headerBytes = 32
+	// stateName is the persisted eviction-state sidecar.
+	stateName = "STATE.json"
+	// entrySuffix names entry files; temporaries use tmpSuffix and are
+	// removed at open (a crash mid-fill leaves only temporaries).
+	entrySuffix = ".lfdt"
+	tmpSuffix   = ".tmp"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config configures a Tier.
+type Config struct {
+	// Dir is the cache directory, created if missing.
+	Dir string
+	// CapacityBytes bounds the cached data bytes (entry headers are not
+	// counted); the least-recently-used entries are evicted past it.
+	CapacityBytes int64
+	// PromoteInflight bounds concurrent background promotions (Promote)
+	// so prefetch I/O cannot starve foreground reads. Demand-miss
+	// promotions (prefetch=false) draw from a separate budget of the
+	// same size: speculative prefetch traffic can never crowd out the
+	// fill for the group the foreground is missing on right now, and
+	// vice versa. Default 2 per class.
+	PromoteInflight int
+}
+
+// Stats counts tier activity since open. Bytes is current, not
+// cumulative.
+type Stats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Fills      int64 `json:"fills"`
+	FillErrors int64 `json:"fill_errors"`
+	Evictions  int64 `json:"evictions"`
+	Bytes      int64 `json:"bytes"`
+	Entries    int   `json:"entries"`
+	// ValidationFailures counts entries dropped because their header or
+	// data checksum failed — the fall-through-to-backend path.
+	ValidationFailures int64 `json:"validation_failures"`
+	// PrefetchIssued/Hits/Wasted account schedule-driven promotions: a
+	// prefetched entry scores a hit on its first foreground read and is
+	// wasted if evicted untouched.
+	PrefetchIssued int64 `json:"prefetch_issued"`
+	PrefetchHits   int64 `json:"prefetch_hits"`
+	PrefetchWasted int64 `json:"prefetch_wasted"`
+}
+
+// entry is one cached region. mapped/data are nil until the first Get
+// maps and validates the file.
+type entry struct {
+	key        uint32
+	length     int64
+	path       string
+	prev, next *entry // LRU list, head = most recent
+	mapped     []byte // whole-file mapping
+	data       []byte // mapped[headerBlock : headerBlock+length]
+	refs       int    // outstanding handles
+	dead       bool   // evicted while pinned; last Release unmaps
+	prefetched bool
+	touched    bool
+}
+
+// Tier is the disk cache tier. Open one per cache directory.
+type Tier struct {
+	dir      string
+	capacity int64
+
+	mu         sync.Mutex
+	idle       *sync.Cond
+	entries    map[uint32]*entry
+	head, tail *entry
+	bytes      int64
+	stats      Stats
+	pending    map[uint32]bool
+	// slots/demandSlots are the per-class in-flight budgets: prefetch
+	// promotions and demand-miss promotions each bounded independently.
+	slots       chan struct{}
+	demandSlots chan struct{}
+	closed      bool
+}
+
+// Open opens (creating if needed) the tier under cfg.Dir: temporaries
+// from interrupted fills are removed, surviving entries are indexed,
+// and the persisted LRU order is restored — entries the sidecar does
+// not know land at the cold end. Entries beyond capacity are evicted
+// immediately.
+func Open(cfg Config) (*Tier, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("disktier: Config.Dir is required")
+	}
+	if cfg.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("disktier: CapacityBytes %d must be positive", cfg.CapacityBytes)
+	}
+	if cfg.PromoteInflight <= 0 {
+		cfg.PromoteInflight = 2
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &Tier{
+		dir:         cfg.Dir,
+		capacity:    cfg.CapacityBytes,
+		entries:     make(map[uint32]*entry),
+		pending:     make(map[uint32]bool),
+		slots:       make(chan struct{}, cfg.PromoteInflight),
+		demandSlots: make(chan struct{}, cfg.PromoteInflight),
+	}
+	t.idle = sync.NewCond(&t.mu)
+	if err := t.scan(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.evictLocked()
+	t.mu.Unlock()
+	return t, nil
+}
+
+// scan indexes the directory's surviving entries in persisted order.
+func (t *Tier) scan() error {
+	names, err := os.ReadDir(t.dir)
+	if err != nil {
+		return err
+	}
+	found := make(map[uint32]*entry)
+	for _, de := range names {
+		name := de.Name()
+		path := filepath.Join(t.dir, name)
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A crash mid-fill: never renamed, never readable.
+			os.Remove(path)
+		case strings.HasSuffix(name, entrySuffix):
+			e, err := readEntryHeader(path)
+			if err != nil {
+				// Truncated or foreign file: drop it rather than serve it.
+				os.Remove(path)
+				t.stats.ValidationFailures++
+				continue
+			}
+			if _, dup := found[e.key]; dup {
+				os.Remove(path)
+				continue
+			}
+			found[e.key] = e
+		}
+	}
+	// Persisted order first (most recent first), unknown entries cold.
+	var st struct {
+		Order []uint32 `json:"order"`
+	}
+	if b, err := os.ReadFile(filepath.Join(t.dir, stateName)); err == nil {
+		_ = json.Unmarshal(b, &st) // a corrupt sidecar only loses recency
+	}
+	for _, key := range st.Order {
+		if e := found[key]; e != nil {
+			t.pushTailLocked(e)
+			t.entries[key] = e
+			t.bytes += e.length
+			delete(found, key)
+		}
+	}
+	rest := make([]*entry, 0, len(found))
+	for _, e := range found {
+		rest = append(rest, e)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].key < rest[j].key })
+	for _, e := range rest {
+		t.pushTailLocked(e)
+		t.entries[e.key] = e
+		t.bytes += e.length
+	}
+	return nil
+}
+
+// readEntryHeader opens path and decodes/verifies its header only (data
+// checksums are verified when the entry is first mapped).
+func readEntryHeader(path string) (*entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hb [headerBytes]byte
+	if _, err := f.ReadAt(hb[:], 0); err != nil {
+		return nil, fmt.Errorf("disktier: short header: %w", err)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(hb[0:]); got != magic {
+		return nil, fmt.Errorf("disktier: bad magic %#x", got)
+	}
+	if sum := crc32.Checksum(hb[:28], castagnoli); sum != le.Uint32(hb[28:]) {
+		return nil, fmt.Errorf("disktier: header checksum mismatch")
+	}
+	if v := le.Uint32(hb[4:]); v != version {
+		return nil, fmt.Errorf("disktier: version %d (reader supports %d)", v, version)
+	}
+	length := int64(le.Uint64(hb[16:]))
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() != headerBlock+length {
+		return nil, fmt.Errorf("disktier: file is %d bytes, header says %d", fi.Size(), headerBlock+length)
+	}
+	return &entry{key: le.Uint32(hb[8:]), length: length, path: path}, nil
+}
+
+// marshalEntryHeader encodes the header block: magic, version, key,
+// flags, data length, data CRC32-C, header CRC32-C.
+func marshalEntryHeader(key uint32, data []byte) []byte {
+	b := make([]byte, headerBlock)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], magic)
+	le.PutUint32(b[4:], version)
+	le.PutUint32(b[8:], key)
+	le.PutUint32(b[12:], 0) // flags, reserved
+	le.PutUint64(b[16:], uint64(len(data)))
+	le.PutUint32(b[24:], crc32.Checksum(data, castagnoli))
+	le.PutUint32(b[28:], crc32.Checksum(b[:28], castagnoli))
+	return b
+}
+
+func entryName(key uint32) string { return fmt.Sprintf("grp-%08x%s", key, entrySuffix) }
+
+// Dir returns the tier's directory.
+func (t *Tier) Dir() string { return t.dir }
+
+// CapacityBytes returns the configured capacity.
+func (t *Tier) CapacityBytes() int64 { return t.capacity }
+
+// Contains reports residency without touching recency (the φ-style
+// probe; prefetch dedup uses it).
+func (t *Tier) Contains(key uint32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entries[key] != nil
+}
+
+// Stats snapshots the counters.
+func (t *Tier) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Bytes = t.bytes
+	s.Entries = len(t.entries)
+	return s
+}
+
+// Handle pins one mapped entry. Release it promptly: an evicted entry's
+// mapping is held until its last handle goes away.
+type Handle struct {
+	t *Tier
+	e *entry
+}
+
+// Bytes returns the entry's cached data region, valid until Release.
+func (h Handle) Bytes() []byte { return h.e.data }
+
+// Release unpins the entry.
+func (h Handle) Release() {
+	t := h.t
+	t.mu.Lock()
+	h.e.refs--
+	if h.e.dead && h.e.refs == 0 {
+		t.unmapLocked(h.e)
+	}
+	t.mu.Unlock()
+}
+
+// Get returns a pinned handle for key, mapping and checksum-validating
+// the entry's file on its first use. A missing, truncated, or corrupt
+// entry counts a miss (corruption also drops the file), so the caller
+// falls through to the segment backend.
+func (t *Tier) Get(key uint32) (Handle, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		t.stats.Misses++
+		return Handle{}, false
+	}
+	if e.mapped == nil {
+		if err := t.mapLocked(e); err != nil {
+			// Validation failed: drop the entry and miss — the segment
+			// store below remains the source of truth.
+			t.dropLocked(e)
+			os.Remove(e.path)
+			t.stats.ValidationFailures++
+			t.stats.Misses++
+			return Handle{}, false
+		}
+	}
+	t.stats.Hits++
+	if e.prefetched && !e.touched {
+		t.stats.PrefetchHits++
+	}
+	e.touched = true
+	t.moveFrontLocked(e)
+	e.refs++
+	return Handle{t: t, e: e}, true
+}
+
+// mapLocked maps and validates e's file. Checksum cost is paid once per
+// mapping (per fill or per restart), not per read.
+func (t *Tier) mapLocked(e *entry) error {
+	f, err := os.Open(e.path)
+	if err != nil {
+		return err
+	}
+	m, err := mapFile(f, headerBlock+e.length)
+	f.Close() // the mapping outlives the descriptor
+	if err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	data := m[headerBlock : headerBlock+e.length]
+	switch {
+	case le.Uint32(m[0:]) != magic,
+		le.Uint32(m[8:]) != e.key,
+		int64(le.Uint64(m[16:])) != e.length:
+		unmapFile(m)
+		return fmt.Errorf("disktier: entry %d header mismatch", e.key)
+	case crc32.Checksum(data, castagnoli) != le.Uint32(m[24:]):
+		unmapFile(m)
+		return fmt.Errorf("disktier: entry %d data checksum mismatch", e.key)
+	}
+	e.mapped, e.data = m, data
+	return nil
+}
+
+func (t *Tier) unmapLocked(e *entry) {
+	if e.mapped != nil {
+		unmapFile(e.mapped)
+		e.mapped, e.data = nil, nil
+	}
+}
+
+// dropLocked detaches e from the index and list (no file removal, no
+// eviction accounting).
+func (t *Tier) dropLocked(e *entry) {
+	delete(t.entries, e.key)
+	t.unlinkLocked(e)
+	t.bytes -= e.length
+	if e.refs > 0 {
+		e.dead = true
+	} else {
+		t.unmapLocked(e)
+	}
+}
+
+func (t *Tier) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if t.head == e {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if t.tail == e {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (t *Tier) pushFrontLocked(e *entry) {
+	e.prev, e.next = nil, t.head
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}
+
+func (t *Tier) pushTailLocked(e *entry) {
+	e.next, e.prev = nil, t.tail
+	if t.tail != nil {
+		t.tail.next = e
+	}
+	t.tail = e
+	if t.head == nil {
+		t.head = e
+	}
+}
+
+func (t *Tier) moveFrontLocked(e *entry) {
+	if t.head == e {
+		return
+	}
+	t.unlinkLocked(e)
+	t.pushFrontLocked(e)
+}
+
+// Fill installs data as the entry for key: the bytes land in a
+// temporary file (with a checksummed header) renamed into place, so a
+// crash mid-fill leaves no readable partial entry. No fsync — the tier
+// is reconstructible and validation catches torn writes. Replacing an
+// existing entry is an overwrite, not an eviction.
+func (t *Tier) Fill(key uint32, data []byte, prefetched bool) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("disktier: tier is closed")
+	}
+	t.mu.Unlock()
+
+	tmp, err := os.CreateTemp(t.dir, "fill-*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(marshalEntryHeader(key, data))
+	if err == nil {
+		_, err = tmp.Write(data)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	path := filepath.Join(t.dir, entryName(key))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		os.Remove(path)
+		return fmt.Errorf("disktier: tier is closed")
+	}
+	if old := t.entries[key]; old != nil {
+		t.dropLocked(old)
+	}
+	e := &entry{key: key, length: int64(len(data)), path: path, prefetched: prefetched}
+	t.entries[key] = e
+	t.pushFrontLocked(e)
+	t.bytes += e.length
+	t.stats.Fills++
+	t.evictLocked()
+	t.persistLocked()
+	t.mu.Unlock()
+	return nil
+}
+
+// evictLocked enforces capacity from the cold end, skipping pinned
+// entries (they evict when pressure recurs after unpinning) and never
+// the MRU head — evicting the entry a fill just installed would be
+// self-defeating, so the tier runs transiently over capacity instead.
+func (t *Tier) evictLocked() {
+	e := t.tail
+	for t.bytes > t.capacity && e != nil && e != t.head {
+		victim := e
+		e = e.prev
+		if victim.refs > 0 {
+			continue
+		}
+		if victim.prefetched && !victim.touched {
+			t.stats.PrefetchWasted++
+		}
+		t.stats.Evictions++
+		t.dropLocked(victim)
+		os.Remove(victim.path)
+	}
+}
+
+// persistLocked writes the LRU order sidecar (atomic rename; loss of
+// the sidecar loses recency, never data).
+func (t *Tier) persistLocked() {
+	order := make([]uint32, 0, len(t.entries))
+	for e := t.head; e != nil; e = e.next {
+		order = append(order, e.key)
+	}
+	b, err := json.Marshal(struct {
+		Order []uint32 `json:"order"`
+	}{Order: order})
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(t.dir, stateName+tmpSuffix)
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(t.dir, stateName)); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// Promote schedules a background fill of key from read, bounded by the
+// in-flight budget. Returns false without work when the key is already
+// resident or pending, the budget is exhausted, or the tier is closed —
+// promotion is best-effort by design: the foreground path never depends
+// on it.
+func (t *Tier) Promote(key uint32, prefetch bool, read func() ([]byte, error)) bool {
+	t.mu.Lock()
+	if t.closed || t.pending[key] || t.entries[key] != nil {
+		t.mu.Unlock()
+		return false
+	}
+	slots := t.demandSlots
+	if prefetch {
+		slots = t.slots
+	}
+	select {
+	case slots <- struct{}{}:
+	default:
+		t.mu.Unlock()
+		return false
+	}
+	t.pending[key] = true
+	if prefetch {
+		t.stats.PrefetchIssued++
+	}
+	t.mu.Unlock()
+
+	go func() {
+		data, err := read()
+		if err == nil {
+			err = t.Fill(key, data, prefetch)
+		}
+		t.mu.Lock()
+		if err != nil {
+			t.stats.FillErrors++
+		}
+		delete(t.pending, key)
+		<-slots
+		if len(t.pending) == 0 {
+			t.idle.Broadcast()
+		}
+		t.mu.Unlock()
+	}()
+	return true
+}
+
+// WaitIdle blocks until no promotions are in flight (benchmark warmup
+// and tests).
+func (t *Tier) WaitIdle() {
+	t.mu.Lock()
+	for len(t.pending) > 0 {
+		t.idle.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// Close persists the eviction state and unmaps every unpinned entry.
+// In-flight promotions fail harmlessly afterward. Safe to call once;
+// Get/Fill/Promote on a closed tier miss or error.
+func (t *Tier) Close() error {
+	t.WaitIdle()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.persistLocked()
+	for e := t.head; e != nil; e = e.next {
+		if e.refs == 0 {
+			t.unmapLocked(e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package disktier
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTier(t *testing.T, dir string, capacity int64) *Tier {
+	t.Helper()
+	tier, err := Open(Config{Dir: dir, CapacityBytes: capacity})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return tier
+}
+
+func fill(t *testing.T, tier *Tier, key uint32, data []byte) {
+	t.Helper()
+	if err := tier.Fill(key, data, false); err != nil {
+		t.Fatalf("Fill(%d): %v", key, err)
+	}
+}
+
+func payload(key uint32, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(key) + i)
+	}
+	return b
+}
+
+func TestFillGetRoundtrip(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 1<<20)
+	defer tier.Close()
+
+	want := payload(7, 12345)
+	fill(t, tier, 7, want)
+	h, ok := tier.Get(7)
+	if !ok {
+		t.Fatal("Get(7) missed after Fill")
+	}
+	if !bytes.Equal(h.Bytes(), want) {
+		t.Fatal("Get returned different bytes than were filled")
+	}
+	h.Release()
+
+	if _, ok := tier.Get(8); ok {
+		t.Fatal("Get(8) hit without a fill")
+	}
+	st := tier.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 fill", st)
+	}
+	if st.Bytes != int64(len(want)) || st.Entries != 1 {
+		t.Fatalf("stats bytes/entries = %d/%d, want %d/1", st.Bytes, st.Entries, len(want))
+	}
+}
+
+func TestFillOverwriteIsNotEviction(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 1<<20)
+	defer tier.Close()
+
+	fill(t, tier, 3, payload(3, 100))
+	fill(t, tier, 3, payload(9, 200))
+	st := tier.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("overwrite counted %d evictions, want 0", st.Evictions)
+	}
+	if st.Bytes != 200 || st.Entries != 1 {
+		t.Fatalf("after overwrite bytes/entries = %d/%d, want 200/1", st.Bytes, st.Entries)
+	}
+	h, ok := tier.Get(3)
+	if !ok {
+		t.Fatal("Get(3) missed after overwrite")
+	}
+	defer h.Release()
+	if !bytes.Equal(h.Bytes(), payload(9, 200)) {
+		t.Fatal("Get returned the stale pre-overwrite bytes")
+	}
+}
+
+func TestEvictionIsLRUAndCapacityBounded(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 250)
+	defer tier.Close()
+
+	fill(t, tier, 1, payload(1, 100))
+	fill(t, tier, 2, payload(2, 100))
+	// Touch 1 so 2 is the LRU victim when 3 overflows capacity.
+	if h, ok := tier.Get(1); ok {
+		h.Release()
+	} else {
+		t.Fatal("Get(1) missed")
+	}
+	fill(t, tier, 3, payload(3, 100))
+
+	if tier.Contains(2) {
+		t.Fatal("LRU entry 2 survived an over-capacity fill")
+	}
+	if !tier.Contains(1) || !tier.Contains(3) {
+		t.Fatal("recently-used entries were evicted instead of the LRU one")
+	}
+	st := tier.Stats()
+	if st.Evictions != 1 || st.Bytes != 200 {
+		t.Fatalf("stats = %+v, want 1 eviction and 200 bytes", st)
+	}
+}
+
+func TestPinnedEntrySurvivesEviction(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 150)
+	defer tier.Close()
+
+	want := payload(1, 100)
+	fill(t, tier, 1, want)
+	h, ok := tier.Get(1)
+	if !ok {
+		t.Fatal("Get(1) missed")
+	}
+	// Overflows capacity; entry 1 is pinned so it is skipped, then
+	// dropped as dead once released.
+	fill(t, tier, 2, payload(2, 100))
+	if !bytes.Equal(h.Bytes(), want) {
+		t.Fatal("pinned handle bytes changed under eviction pressure")
+	}
+	h.Release()
+	if !tier.Contains(2) {
+		t.Fatal("entry 2 missing after fill")
+	}
+}
+
+// A crash mid-fill leaves only a *.tmp file: it must never be readable
+// as an entry, and open must clean it up.
+func TestCrashMidFillLeavesNoReadableEntry(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 1<<20)
+	fill(t, tier, 1, payload(1, 64))
+	tier.Close()
+
+	// Simulate a fill interrupted before rename: a partial temp file,
+	// including one with a fully valid header+data prefix.
+	if err := os.WriteFile(filepath.Join(dir, "fill-123"+tmpSuffix), marshalEntryHeader(9, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tier = openTier(t, dir, 1<<20)
+	defer tier.Close()
+	if tier.Contains(9) {
+		t.Fatal("interrupted fill became a readable entry")
+	}
+	if _, ok := tier.Get(9); ok {
+		t.Fatal("Get(9) served a partial fill")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), tmpSuffix) {
+			t.Fatalf("temp file %s survived reopen", de.Name())
+		}
+	}
+	if !tier.Contains(1) {
+		t.Fatal("the completed entry was lost while cleaning temporaries")
+	}
+}
+
+// Restart must reload the persisted eviction order: the entry touched
+// before close survives a post-restart capacity squeeze, colder ones
+// do not.
+func TestRestartReloadsEvictionState(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 1<<20)
+	fill(t, tier, 1, payload(1, 100))
+	fill(t, tier, 2, payload(2, 100))
+	fill(t, tier, 3, payload(3, 100))
+	// Recency now 1 > 3 > 2 (fills pushed 3,2,1... then Get(1)).
+	if h, ok := tier.Get(1); ok {
+		h.Release()
+	} else {
+		t.Fatal("Get(1) missed")
+	}
+	tier.Close()
+
+	// Reopen with room for two entries: 2 (coldest) must be the one
+	// evicted, which requires the persisted order, not directory order.
+	tier = openTier(t, dir, 250)
+	defer tier.Close()
+	if tier.Contains(2) {
+		t.Fatal("coldest entry 2 survived the post-restart squeeze: eviction state was not reloaded")
+	}
+	if !tier.Contains(1) || !tier.Contains(3) {
+		t.Fatal("warm entries 1/3 were evicted after restart: eviction state was not reloaded")
+	}
+	h, ok := tier.Get(1)
+	if !ok {
+		t.Fatal("Get(1) missed after restart")
+	}
+	defer h.Release()
+	if !bytes.Equal(h.Bytes(), payload(1, 100)) {
+		t.Fatal("restart returned different bytes than were filled")
+	}
+}
+
+// A corrupt cached block must fall through to a miss (so the caller
+// re-reads the segment backend), never serve bad data.
+func TestCorruptEntryFallsThrough(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 1<<20)
+	fill(t, tier, 5, payload(5, 4096))
+	tier.Close()
+
+	// Flip one data byte on disk.
+	path := filepath.Join(dir, entryName(5))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerBlock+1000] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tier = openTier(t, dir, 1<<20)
+	defer tier.Close()
+	if _, ok := tier.Get(5); ok {
+		t.Fatal("Get served a corrupt entry")
+	}
+	st := tier.Stats()
+	if st.ValidationFailures != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 validation failure and 1 miss", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry file was not dropped: stat err = %v", err)
+	}
+	// A second Get is a plain miss, not a second validation failure.
+	if _, ok := tier.Get(5); ok {
+		t.Fatal("Get hit after the corrupt entry was dropped")
+	}
+}
+
+// A truncated (torn) entry file is dropped at open.
+func TestTruncatedEntryDroppedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 1<<20)
+	fill(t, tier, 6, payload(6, 2048))
+	tier.Close()
+
+	path := filepath.Join(dir, entryName(6))
+	if err := os.Truncate(path, headerBlock+100); err != nil {
+		t.Fatal(err)
+	}
+	tier = openTier(t, dir, 1<<20)
+	defer tier.Close()
+	if tier.Contains(6) {
+		t.Fatal("truncated entry survived open")
+	}
+	if tier.Stats().ValidationFailures != 1 {
+		t.Fatalf("stats = %+v, want 1 validation failure", tier.Stats())
+	}
+}
+
+func TestPromoteDedupAndAccounting(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 1<<20)
+	defer tier.Close()
+
+	reads := 0
+	read := func() ([]byte, error) { reads++; return payload(1, 128), nil }
+	if !tier.Promote(1, true, read) {
+		t.Fatal("first Promote refused")
+	}
+	tier.WaitIdle()
+	// Already resident: no second read.
+	if tier.Promote(1, true, read) {
+		t.Fatal("Promote re-promoted a resident entry")
+	}
+	if reads != 1 {
+		t.Fatalf("read ran %d times, want 1", reads)
+	}
+
+	st := tier.Stats()
+	if st.PrefetchIssued != 1 || st.PrefetchHits != 0 {
+		t.Fatalf("stats = %+v, want 1 prefetch issued, 0 hits", st)
+	}
+	// First foreground read of a prefetched entry is a prefetch hit;
+	// the second is a plain hit.
+	for i := 0; i < 2; i++ {
+		h, ok := tier.Get(1)
+		if !ok {
+			t.Fatalf("Get(1) missed after promote (read %d)", i)
+		}
+		h.Release()
+	}
+	st = tier.Stats()
+	if st.PrefetchHits != 1 {
+		t.Fatalf("prefetch hits = %d, want 1", st.PrefetchHits)
+	}
+}
+
+func TestPromoteWastedOnUntouchedEviction(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 150)
+	defer tier.Close()
+
+	if !tier.Promote(1, true, func() ([]byte, error) { return payload(1, 100), nil }) {
+		t.Fatal("Promote refused")
+	}
+	tier.WaitIdle()
+	// Evict it untouched.
+	fill(t, tier, 2, payload(2, 100))
+	st := tier.Stats()
+	if st.PrefetchWasted != 1 {
+		t.Fatalf("prefetch wasted = %d, want 1", st.PrefetchWasted)
+	}
+}
+
+func TestPromoteFailureDoesNotPoison(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 1<<20)
+	defer tier.Close()
+
+	if !tier.Promote(1, false, func() ([]byte, error) { return nil, fmt.Errorf("backend down") }) {
+		t.Fatal("Promote refused")
+	}
+	tier.WaitIdle()
+	if st := tier.Stats(); st.FillErrors != 1 {
+		t.Fatalf("fill errors = %d, want 1", st.FillErrors)
+	}
+	// The key is retryable after the failed promote.
+	if !tier.Promote(1, false, func() ([]byte, error) { return payload(1, 64), nil }) {
+		t.Fatal("Promote refused after a failed attempt")
+	}
+	tier.WaitIdle()
+	if !tier.Contains(1) {
+		t.Fatal("retry promote did not land")
+	}
+}
+
+func TestPromoteBudget(t *testing.T) {
+	tier, err := Open(Config{Dir: t.TempDir(), CapacityBytes: 1 << 20, PromoteInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+
+	release := make(chan struct{})
+	if !tier.Promote(1, false, func() ([]byte, error) { <-release; return payload(1, 64), nil }) {
+		t.Fatal("first Promote refused")
+	}
+	// Budget of 1 is held by the blocked promote.
+	if tier.Promote(2, false, func() ([]byte, error) { return payload(2, 64), nil }) {
+		t.Fatal("Promote exceeded the in-flight budget")
+	}
+	close(release)
+	tier.WaitIdle()
+	if !tier.Contains(1) {
+		t.Fatal("budgeted promote did not land")
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	if _, err := Open(Config{Dir: "", CapacityBytes: 1}); err == nil {
+		t.Fatal("Open accepted an empty dir")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), CapacityBytes: 0}); err == nil {
+		t.Fatal("Open accepted zero capacity")
+	}
+}
+
+func TestStatePersistsAcrossManyCycles(t *testing.T) {
+	dir := t.TempDir()
+	for cycle := 0; cycle < 3; cycle++ {
+		tier := openTier(t, dir, 1<<20)
+		fill(t, tier, uint32(cycle), payload(uint32(cycle), 64))
+		tier.Close()
+	}
+	tier := openTier(t, dir, 1<<20)
+	defer tier.Close()
+	for key := uint32(0); key < 3; key++ {
+		if !tier.Contains(key) {
+			t.Fatalf("entry %d lost across restart cycles", key)
+		}
+	}
+}

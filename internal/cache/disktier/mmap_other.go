@@ -1,0 +1,20 @@
+//go:build !unix
+
+package disktier
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to a heap read on platforms without syscall.Mmap;
+// the tier behaves identically, it just pays a copy per mapping.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	m := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func unmapFile([]byte) {}

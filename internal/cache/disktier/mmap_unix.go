@@ -1,0 +1,23 @@
+//go:build unix
+
+package disktier
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The mapping survives f being
+// closed.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(m []byte) {
+	if m != nil {
+		_ = syscall.Munmap(m)
+	}
+}

@@ -72,6 +72,18 @@ type Config struct {
 	// Costs are charged identically either way (DESIGN.md §3).
 	MaterializeResults bool
 
+	// PrefetchDepth, when positive, enables the schedule-driven
+	// prefetcher: after every pick the scheduler peeks the top
+	// PrefetchDepth entries of its Ut and age orderings — the buckets
+	// Eq. 2 will choose next — and asks the store's tiered backend to
+	// promote their groups toward the fast tier ahead of their service.
+	// Requires a Store whose backend implements bucket.Prefetcher
+	// (build the config with NewFileBackedTiered); only the LifeRaft
+	// policy maintains the orderings the peek reads, so other policies
+	// ignore the knob. 0 (the default) disables the hook entirely and
+	// leaves the service loop byte-for-byte on its untiered path.
+	PrefetchDepth int
+
 	// Backend selects the storage backend: BackendSim (default) serves
 	// buckets from the analytic disk model on the configured clock;
 	// BackendFile serves them from segment files under DataDir with
@@ -163,6 +175,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Shards < 0 {
 		return c, fmt.Errorf("core: negative Shards")
+	}
+	if c.PrefetchDepth < 0 {
+		return c, fmt.Errorf("core: negative PrefetchDepth")
+	}
+	if c.PrefetchDepth > 0 && c.Store.Prefetcher() == nil {
+		return c, fmt.Errorf("core: PrefetchDepth %d but the store's backend cannot prefetch; build the config with NewFileBackedTiered", c.PrefetchDepth)
 	}
 	return c, nil
 }

@@ -23,6 +23,16 @@ type EngineMetrics struct {
 	cacheMiss *metric.CounterVec
 	readSec   *metric.HistogramVec
 	readErrs  *metric.CounterVec
+
+	// Per-tier cache families ({shard, tier}; tier is "ram" or "disk")
+	// plus the prefetcher's outcome counters. The ram series count the
+	// engine's bucket cache, the disk series the shared disktier; both
+	// stay at zero on simulated backends.
+	tierHits  *metric.CounterVec
+	tierMiss  *metric.CounterVec
+	tierEvict *metric.CounterVec
+	tierBytes *metric.GaugeVec
+	prefetch  *metric.CounterVec
 }
 
 // NewEngineMetrics registers the engine metric families on reg. Call at
@@ -55,6 +65,21 @@ func NewEngineMetrics(reg *metric.Registry) *EngineMetrics {
 		readErrs: reg.NewCounterVec("liferaft_store_read_errors_total",
 			"Store read failures by kind, including checksum mismatches; the store fail-stops after counting.",
 			[]string{"shard", "kind"}, metric.VecOpts{}),
+		tierHits: reg.NewCounterVec("liferaft_cache_hits_total",
+			"Bucket cache hits by tier (ram = in-process bucket cache, disk = persistent disktier).",
+			[]string{"shard", "tier"}, metric.VecOpts{}),
+		tierMiss: reg.NewCounterVec("liferaft_cache_misses_total",
+			"Bucket cache misses by tier.",
+			[]string{"shard", "tier"}, metric.VecOpts{}),
+		tierEvict: reg.NewCounterVec("liferaft_cache_evictions_total",
+			"Cache evictions by tier. Disk-tier evictions are tier-global and reported under shard 0.",
+			[]string{"shard", "tier"}, metric.VecOpts{}),
+		tierBytes: reg.NewGaugeVec("liferaft_cache_bytes",
+			"Bytes resident per cache tier (ram approximates buckets x bucket size; disk is exact). Disk-tier bytes are tier-global, reported under shard 0.",
+			[]string{"shard", "tier"}, metric.VecOpts{}),
+		prefetch: reg.NewCounterVec("liferaft_prefetch_total",
+			"Schedule-driven disk-tier prefetch outcomes: issued (promotion scheduled), hit (prefetched group served a read), wasted (evicted untouched). Tier-global, reported under shard 0.",
+			[]string{"shard", "outcome"}, metric.VecOpts{}),
 	}
 }
 
@@ -74,6 +99,18 @@ func (m *EngineMetrics) Shard(i int) *EngineObs {
 		readProbe: m.readSec.With(s, string(bucket.ReadProbe)),
 		errScan:   m.readErrs.With(s, string(bucket.ReadScan)),
 		errProbe:  m.readErrs.With(s, string(bucket.ReadProbe)),
+
+		ramHits:    m.tierHits.With(s, "ram"),
+		ramMiss:    m.tierMiss.With(s, "ram"),
+		ramEvict:   m.tierEvict.With(s, "ram"),
+		ramBytes:   m.tierBytes.With(s, "ram"),
+		diskHits:   m.tierHits.With(s, "disk"),
+		diskMiss:   m.tierMiss.With(s, "disk"),
+		diskEvict:  m.tierEvict.With(s, "disk"),
+		diskBytes:  m.tierBytes.With(s, "disk"),
+		prefIssued: m.prefetch.With(s, "issued"),
+		prefHits:   m.prefetch.With(s, "hit"),
+		prefWasted: m.prefetch.With(s, "wasted"),
 	}
 }
 
@@ -91,6 +128,18 @@ type EngineObs struct {
 	readProbe *metric.Histogram
 	errScan   *metric.Counter
 	errProbe  *metric.Counter
+
+	ramHits    *metric.Counter
+	ramMiss    *metric.Counter
+	ramEvict   *metric.Counter
+	ramBytes   *metric.Gauge
+	diskHits   *metric.Counter
+	diskMiss   *metric.Counter
+	diskEvict  *metric.Counter
+	diskBytes  *metric.Gauge
+	prefIssued *metric.Counter
+	prefHits   *metric.Counter
+	prefWasted *metric.Counter
 }
 
 // ObserveRead implements bucket.Observer.

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"liferaft/internal/cache/disktier"
+)
+
+// This file wires the tiered bucket store into the scheduler: the
+// Eq.-2-driven prefetch hook that runs after every pick, and the
+// per-tier metric polling that turns the disk tier's counters into
+// /metrics series. Both are nil-guarded single branches when the
+// engine runs untiered, keeping the default service loop bit-identical
+// and zero-alloc.
+
+// tierBackend is what the scheduler needs from a tiered store backend
+// (implemented by segment.TieredBackend); resolved once at
+// construction.
+type tierBackend interface {
+	// ForegroundCounts returns this fork's tier hit/miss totals — the
+	// per-shard numbers, since each shard owns its forked backend.
+	ForegroundCounts() (hits, misses int64)
+	// Tier returns the shared disk tier for the tier-global stats.
+	Tier() *disktier.Tier
+}
+
+// prefetchUpcoming peeks the scheduler's own orderings for the buckets
+// Eq. 2 is about to choose and asks the tiered backend to promote their
+// groups. The peek reads the top of the Ut and age heaps — the two
+// orderings whose maxima decide the next pick — via their array
+// prefixes: a heap's first K slots hold a superset-of-top-K
+// approximation that costs zero allocations and no heap mutation, which
+// is the right trade for a best-effort hint. Residency and in-flight
+// dedup happen inside the tier, so re-hinting the same group every pick
+// is a map lookup, not I/O.
+//
+// The hook never touches scheduling state: tiering changes where bytes
+// are read from, never which bucket is picked, so decisions stay
+// bit-identical with prefetch on or off.
+func (s *scheduler) prefetchUpcoming(picked int) {
+	ix := s.idx
+	if ix == nil || ix.ut == nil {
+		return // non-LifeRaft policies (or QoS fallback) keep no Ut/age order
+	}
+	depth := s.cfg.PrefetchDepth
+	for _, h := range [2]*qheap{ix.ut, ix.age} {
+		n := len(h.s)
+		if n > depth {
+			n = depth
+		}
+		for i := 0; i < n; i++ {
+			if q := h.s[i]; q.idx != picked {
+				s.pre.PrefetchBucket(q.idx)
+			}
+		}
+	}
+}
+
+// pollTierMetrics exports the tiered backend's counters after a
+// service: foreground hit/miss deltas per shard, and — from shard 0
+// only, so the tier-global numbers are not multiplied by the shard
+// count — eviction, residency, and prefetch-outcome deltas from the
+// shared tier.
+func (s *scheduler) pollTierMetrics() {
+	hits, misses := s.tierB.ForegroundCounts()
+	s.obs.diskHits.Add(float64(hits - s.lastTierHits))
+	s.obs.diskMiss.Add(float64(misses - s.lastTierMisses))
+	s.lastTierHits, s.lastTierMisses = hits, misses
+	if s.cfg.shardIndex != 0 {
+		return
+	}
+	st := s.tierB.Tier().Stats()
+	s.obs.diskEvict.Add(float64(st.Evictions - s.lastTierStats.Evictions))
+	s.obs.prefIssued.Add(float64(st.PrefetchIssued - s.lastTierStats.PrefetchIssued))
+	s.obs.prefHits.Add(float64(st.PrefetchHits - s.lastTierStats.PrefetchHits))
+	s.obs.prefWasted.Add(float64(st.PrefetchWasted - s.lastTierStats.PrefetchWasted))
+	s.obs.diskBytes.Set(float64(st.Bytes))
+	s.lastTierStats = st
+}

@@ -551,8 +551,9 @@ func (s *Server) await(p *pending, ch <-chan core.Result) {
 		if s.obs != nil {
 			// A traced request's response observation carries its trace ID
 			// as an OpenMetrics exemplar: the p99 spike on a dashboard
-			// links straight to the forensics capture.
-			if id := p.tr.ID(); id != 0 {
+			// links straight to the forensics capture. Unsampled traces get
+			// no exemplar — the capture they would link to is unpublished.
+			if id := p.tr.ID(); id != 0 && p.tr.Sampled() {
 				s.obs.response.With(p.tenant.name).ObserveExemplar(d.Seconds(), id.String())
 			} else {
 				s.obs.response.With(p.tenant.name).Observe(d.Seconds())

@@ -281,3 +281,53 @@ func TestGatewayTraceIDAndDebugEndpoints(t *testing.T) {
 		t.Fatalf("/debug/traces index does not list %s:\n%s", id, body.String())
 	}
 }
+
+// TestGatewaySampledOutTraceID: with a near-zero sample rate, responses
+// stop echoing trace_ids (the capture they would link to is unpublished)
+// and the recorder counts the traces as sampled out — while still
+// recording them, so a slow one would be force-captured.
+func TestGatewaySampledOutTraceID(t *testing.T) {
+	eng := newStubEngine(simclock.NewVirtual())
+	eng.auto = true
+	srv, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec := trace.New(trace.Config{Now: eng.clk.Now, Sample: 1e-12})
+	g, err := NewGateway(GatewayConfig{
+		Exec: func(ctx context.Context, tenant, query string) (any, error) {
+			ch, err := srv.Submit(ctx, tenant, core.Job{ID: 1})
+			if err != nil {
+				return nil, err
+			}
+			<-ch
+			return "ok", nil
+		},
+		Server: srv,
+		Tracer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g)
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		resp, out := postQuery(t, ts, `{"tenant":"alice","query":"SELECT 1"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+		}
+		if id, _ := out["trace_id"].(string); id != "" {
+			t.Fatalf("query %d: unsampled response carries trace_id %s", i, id)
+		}
+	}
+	_, finished, _, sampledOut := rec.Stats()
+	if finished != 8 || sampledOut != 8 {
+		t.Fatalf("finished/sampledOut = %d/%d, want 8/8", finished, sampledOut)
+	}
+	if got := rec.Recent(); len(got) != 0 {
+		t.Fatalf("recent ring holds %d unsampled traces, want 0", len(got))
+	}
+}

@@ -24,6 +24,7 @@ type index struct {
 	Started          uint64    `json:"started"`
 	Finished         uint64    `json:"finished"`
 	SlowCount        uint64    `json:"slow_count"`
+	SampledOut       uint64    `json:"sampled_out,omitempty"`
 	SlowThresholdSec float64   `json:"slow_threshold_sec"`
 	Slow             []Summary `json:"slow"`
 	Recent           []Summary `json:"recent"`
@@ -64,9 +65,9 @@ func (r *Recorder) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if rest == "" {
-			started, finished, slowN := r.Stats()
+			started, finished, slowN, sampledOut := r.Stats()
 			enc.Encode(index{
-				Started: started, Finished: finished, SlowCount: slowN,
+				Started: started, Finished: finished, SlowCount: slowN, SampledOut: sampledOut,
 				SlowThresholdSec: r.slowThreshold.Seconds(),
 				Slow:             summarize(r.Slow()),
 				Recent:           summarize(r.Recent()),

@@ -17,6 +17,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 	"time"
@@ -105,6 +106,8 @@ type Trace struct {
 	start   time.Time
 	now     func() time.Time // the starting recorder's clock
 
+	sampled bool
+
 	mu sync.Mutex
 	// spans grows on demand up to MaxSpans. A trace of a cached query
 	// records a handful of spans; eagerly reserving the full slab would
@@ -122,6 +125,20 @@ func (t *Trace) ID() ID {
 		return 0
 	}
 	return t.id
+}
+
+// Sampled reports whether this trace was selected by the recorder's
+// sample rate (false on a nil trace). Sampling is a pure function of the
+// trace ID, so every node a federated query touches agrees on it, and it
+// gates only where the finished trace is *published* — the recent-ring
+// archive, response trace_ids, exemplars — never what is recorded: spans
+// still accumulate so a trace that turns out slow is force-captured in
+// full.
+func (t *Trace) Sampled() bool {
+	if t == nil {
+		return false
+	}
+	return t.sampled
 }
 
 // StartTime returns when the trace was started, the zero time on a nil
@@ -214,6 +231,7 @@ type Data struct {
 	End         time.Time `json:"end"`
 	ResponseSec float64   `json:"response_sec"`
 	Slow        bool      `json:"slow,omitempty"`
+	Sampled     bool      `json:"sampled,omitempty"`
 	CacheHits   int64     `json:"cache_hits,omitempty"`
 	CacheMisses int64     `json:"cache_misses,omitempty"`
 	Dropped     int       `json:"spans_dropped,omitempty"`
@@ -309,6 +327,13 @@ type Config struct {
 	SlowThreshold time.Duration
 	// RecentCap and SlowCap bound the two rings (defaults 256 and 64).
 	RecentCap, SlowCap int
+	// Sample is the fraction of traces published (archived in the recent
+	// ring, echoed as trace_id, attached as exemplars). <= 0 or >= 1
+	// means every trace. Slow traces are always captured regardless of
+	// the rate — sampling thins the routine traffic, not the forensics.
+	// Selection is deterministic on the trace ID, so federated nodes
+	// agree without coordination.
+	Sample float64
 }
 
 // Recorder owns trace lifecycle: Start issues IDs, Finish stamps the
@@ -320,17 +345,19 @@ type Config struct {
 type Recorder struct {
 	now           func() time.Time
 	slowThreshold time.Duration
+	sampleCut     uint64 // IDs <= cut are sampled; MaxUint64 = all
 
-	mu       sync.Mutex
-	seed     uint64
-	seq      uint64
-	recent   []Data // ring, recentAt is the next write slot
-	recentAt int
-	slow     []Data
-	slowAt   int
-	started  uint64
-	finished uint64
-	slowN    uint64
+	mu         sync.Mutex
+	seed       uint64
+	seq        uint64
+	recent     []Data // ring, recentAt is the next write slot
+	recentAt   int
+	slow       []Data
+	slowAt     int
+	started    uint64
+	finished   uint64
+	slowN      uint64
+	sampledOut uint64 // finished unsampled (and not slow): recorded but unpublished
 }
 
 // New builds a Recorder.
@@ -347,9 +374,14 @@ func New(cfg Config) *Recorder {
 	if cfg.SlowCap <= 0 {
 		cfg.SlowCap = 64
 	}
+	cut := uint64(math.MaxUint64)
+	if cfg.Sample > 0 && cfg.Sample < 1 {
+		cut = uint64(cfg.Sample * float64(math.MaxUint64))
+	}
 	return &Recorder{
 		now:           cfg.Now,
 		slowThreshold: cfg.SlowThreshold,
+		sampleCut:     cut,
 		// Construction-time entropy for ID generation; wall time is fine
 		// here even under a virtual clock (it is a seed, not a stamp).
 		seed:   uint64(time.Now().UnixNano()),
@@ -383,12 +415,15 @@ func (r *Recorder) Start(tenant string, queryID uint64) *Trace {
 	}
 	r.started++
 	r.mu.Unlock()
-	return &Trace{id: id, tenant: tenant, queryID: queryID, start: r.now(), now: r.now}
+	return &Trace{id: id, tenant: tenant, queryID: queryID, start: r.now(), now: r.now,
+		sampled: uint64(id) <= r.sampleCut}
 }
 
 // StartRemote begins a continuation trace under a caller-issued ID — the
 // remote half of a federation hop, whose spans ship back and stitch into
-// the caller's trace. Returns nil on a nil recorder or a zero ID.
+// the caller's trace. Returns nil on a nil recorder or a zero ID. The
+// sampling decision is recomputed from the shared ID, so it matches the
+// caller's when both run the same rate.
 func (r *Recorder) StartRemote(id ID, tenant string, queryID uint64) *Trace {
 	if r == nil || id == 0 {
 		return nil
@@ -396,7 +431,8 @@ func (r *Recorder) StartRemote(id ID, tenant string, queryID uint64) *Trace {
 	r.mu.Lock()
 	r.started++
 	r.mu.Unlock()
-	return &Trace{id: id, tenant: tenant, queryID: queryID, start: r.now(), now: r.now}
+	return &Trace{id: id, tenant: tenant, queryID: queryID, start: r.now(), now: r.now,
+		sampled: uint64(id) <= r.sampleCut}
 }
 
 // Finish stamps the trace's end, archives it, and returns the snapshot.
@@ -419,14 +455,22 @@ func (r *Recorder) Finish(t *Trace) Data {
 	}
 	d.ResponseSec = d.End.Sub(d.Start).Seconds()
 	d.Slow = d.End.Sub(d.Start) >= r.slowThreshold
+	d.Sampled = t.sampled
 	r.mu.Lock()
 	r.finished++
-	if len(r.recent) < cap(r.recent) {
-		r.recent = append(r.recent, d)
+	// Sampling gates the recent-ring archive only; a slow trace is
+	// force-captured even when unsampled (the rate thins routine traffic,
+	// not forensics), and the slow ring below never consults the rate.
+	if d.Sampled || d.Slow {
+		if len(r.recent) < cap(r.recent) {
+			r.recent = append(r.recent, d)
+		} else {
+			r.recent[r.recentAt] = d
+		}
+		r.recentAt = (r.recentAt + 1) % cap(r.recent)
 	} else {
-		r.recent[r.recentAt] = d
+		r.sampledOut++
 	}
-	r.recentAt = (r.recentAt + 1) % cap(r.recent)
 	if d.Slow {
 		r.slowN++
 		if len(r.slow) < cap(r.slow) {
@@ -501,12 +545,13 @@ func (r *Recorder) Get(id ID) (Data, bool) {
 }
 
 // Stats reports recorder lifetime counters: traces started, finished,
-// and classified slow.
-func (r *Recorder) Stats() (started, finished, slow uint64) {
+// classified slow, and sampled out (finished but unpublished — neither
+// sampled nor slow).
+func (r *Recorder) Stats() (started, finished, slow, sampledOut uint64) {
 	if r == nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.started, r.finished, r.slowN
+	return r.started, r.finished, r.slowN, r.sampledOut
 }

@@ -121,9 +121,88 @@ func TestRingsAndSlowCapture(t *testing.T) {
 	if slows[0].TraceID != slow3 || slows[1].TraceID != slow2 {
 		t.Fatalf("slow ring order wrong: %v %v", slows[0].TraceID, slows[1].TraceID)
 	}
-	started, finished, slowN := r.Stats()
-	if started != 9 || finished != 9 || slowN != 3 {
-		t.Fatalf("stats = %d/%d/%d, want 9/9/3", started, finished, slowN)
+	started, finished, slowN, sampledOut := r.Stats()
+	if started != 9 || finished != 9 || slowN != 3 || sampledOut != 0 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 9/9/3/0", started, finished, slowN, sampledOut)
+	}
+}
+
+func TestSamplingGatesRecentNotSlow(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	// Sample 1/64: over 2000 traces roughly 31 land in recent; exact
+	// counts come from the deterministic ID cut, we only pin the
+	// invariants.
+	r := New(Config{Now: clock, SlowThreshold: time.Second, Sample: 1.0 / 64, RecentCap: 4096, SlowCap: 64})
+	sampledN := 0
+	for i := 0; i < 2000; i++ {
+		tr := r.Start("t", uint64(i))
+		if tr.Sampled() {
+			sampledN++
+		}
+		advance(time.Millisecond)
+		d := r.Finish(tr)
+		if d.Sampled != tr.Sampled() {
+			t.Fatalf("trace %d: Data.Sampled %v != Trace.Sampled %v", i, d.Sampled, tr.Sampled())
+		}
+	}
+	if sampledN == 0 || sampledN == 2000 {
+		t.Fatalf("sampledN = %d; 1/64 sampling selected nothing or everything", sampledN)
+	}
+	if got := len(r.Recent()); got != sampledN {
+		t.Fatalf("recent holds %d traces, want the %d sampled ones", got, sampledN)
+	}
+	_, finished, _, sampledOut := r.Stats()
+	if finished != 2000 || sampledOut != 2000-uint64(sampledN) {
+		t.Fatalf("finished/sampledOut = %d/%d, want 2000/%d", finished, sampledOut, 2000-uint64(sampledN))
+	}
+
+	// A slow trace is force-captured even when unsampled: find an
+	// unsampled ID and finish it past the threshold.
+	var slow *Trace
+	for i := 0; slow == nil; i++ {
+		tr := r.Start("t", uint64(i))
+		if !tr.Sampled() {
+			slow = tr
+		} else {
+			r.Finish(tr)
+		}
+	}
+	advance(5 * time.Second)
+	d := r.Finish(slow)
+	if !d.Slow || d.Sampled {
+		t.Fatalf("forced capture: slow=%v sampled=%v, want slow unsampled", d.Slow, d.Sampled)
+	}
+	if _, ok := r.Get(d.TraceID); !ok {
+		t.Fatal("unsampled slow trace not captured")
+	}
+	if got := r.Recent(); len(got) == 0 || got[0].TraceID != d.TraceID {
+		t.Fatal("unsampled slow trace missing from recent ring")
+	}
+}
+
+func TestSamplingDeterministicAcrossRecorders(t *testing.T) {
+	// Two recorders at the same rate (different seeds) must agree on
+	// every ID — the property federation relies on when a remote node
+	// recomputes the decision via StartRemote.
+	a := New(Config{Sample: 0.25})
+	b := New(Config{Sample: 0.25})
+	for i := 0; i < 1000; i++ {
+		tr := a.Start("t", uint64(i))
+		cont := b.StartRemote(tr.ID(), "t", uint64(i))
+		if tr.Sampled() != cont.Sampled() {
+			t.Fatalf("id %v: local sampled=%v remote sampled=%v", tr.ID(), tr.Sampled(), cont.Sampled())
+		}
+		a.Finish(tr)
+		b.Finish(cont)
+	}
+	// Default rate (0 or 1) samples everything.
+	full := New(Config{})
+	if tr := full.Start("t", 1); !tr.Sampled() {
+		t.Fatal("default config must sample every trace")
 	}
 }
 
