@@ -12,6 +12,12 @@
 //     ancestor path (documenting /debug/pprof covers
 //     /debug/pprof/cmdline and friends).
 //
+// It also keeps docs/ANALYZERS.md in lockstep with the static-analysis
+// suite: every analyzer lifevet registers (plus the stale-directive
+// meta-check) must have a `## `name“ section there, so adding an
+// analyzer without documenting its invariant and suppression story
+// breaks the build.
+//
 // Any undocumented flag or metric fails the run with a list of the
 // offenders and where they were registered, so adding a flag or a
 // metric without documenting it breaks the build rather than silently
@@ -30,9 +36,14 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"liferaft/internal/lifevet"
 )
 
-const manualPath = "docs/OPERATIONS.md"
+const (
+	manualPath    = "docs/OPERATIONS.md"
+	analyzersPath = "docs/ANALYZERS.md"
+)
 
 // flagRe matches a flag registration and captures the flag name: the
 // first string literal on the line of flag.String("name", ...) or
@@ -124,6 +135,24 @@ func run() error {
 			missing = append(missing, fmt.Sprintf("endpoint %s (registered in %s) is not documented", e.name, e.file))
 		}
 	}
+
+	// Analyzer coverage: the registry in internal/lifevet is the ground
+	// truth (imported directly, no regex), and every entry — plus the
+	// stale-directive meta-check — needs its own section heading.
+	analyzersDoc, err := os.ReadFile(analyzersPath)
+	if err != nil {
+		return fmt.Errorf("reading the analyzer manual: %w (run from the repository root)", err)
+	}
+	checks := []string{lifevet.StaleDirectiveCheck}
+	for _, a := range lifevet.Analyzers() {
+		checks = append(checks, a.Name)
+	}
+	for _, name := range checks {
+		if !strings.Contains(string(analyzersDoc), "## `"+name+"`") {
+			missing = append(missing, fmt.Sprintf("analyzer %s (registered in internal/lifevet) has no \"## `%s`\" section in %s", name, name, analyzersPath))
+		}
+	}
+
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		for _, line := range missing {
@@ -131,8 +160,8 @@ func run() error {
 		}
 		return fmt.Errorf("%d undocumented name(s) — add them to %s", len(missing), manualPath)
 	}
-	fmt.Printf("docdrift: %s covers all %d flags, %d metric families, %d endpoints\n",
-		manualPath, len(flags), len(metrics), len(endpoints))
+	fmt.Printf("docdrift: %s covers all %d flags, %d metric families, %d endpoints; %s covers all %d analyzers\n",
+		manualPath, len(flags), len(metrics), len(endpoints), analyzersPath, len(checks))
 	return nil
 }
 

@@ -156,8 +156,9 @@ func Open(cfg Config) (*Tier, error) {
 		return nil, err
 	}
 	t.mu.Lock()
-	t.evictLocked()
+	victims := t.evictLocked()
 	t.mu.Unlock()
+	removeFiles(victims)
 	return t, nil
 }
 
@@ -319,20 +320,24 @@ func (h Handle) Release() {
 // falls through to the segment backend.
 func (t *Tier) Get(key uint32) (Handle, bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	e := t.entries[key]
 	if e == nil {
 		t.stats.Misses++
+		t.mu.Unlock()
 		return Handle{}, false
 	}
 	if e.mapped == nil {
-		if err := t.mapLocked(e); err != nil {
+		//lifevet:allow lockdiscipline -- first-use mapping validates the checksum under the tier lock; the open+read is paid once per entry lifetime, and lifting it out needs a per-entry mapping state machine
+		err := t.mapLocked(e)
+		if err != nil {
 			// Validation failed: drop the entry and miss — the segment
 			// store below remains the source of truth.
 			t.dropLocked(e)
-			os.Remove(e.path)
+			path := e.path
 			t.stats.ValidationFailures++
 			t.stats.Misses++
+			t.mu.Unlock()
+			os.Remove(path)
 			return Handle{}, false
 		}
 	}
@@ -343,6 +348,7 @@ func (t *Tier) Get(key uint32) (Handle, bool) {
 	e.touched = true
 	t.moveFrontLocked(e)
 	e.refs++
+	t.mu.Unlock()
 	return Handle{t: t, e: e}, true
 }
 
@@ -486,9 +492,11 @@ func (t *Tier) Fill(key uint32, data []byte, prefetched bool) error {
 	t.pushFrontLocked(e)
 	t.bytes += e.length
 	t.stats.Fills++
-	t.evictLocked()
-	t.persistLocked()
+	victims := t.evictLocked()
+	order := t.orderLocked()
 	t.mu.Unlock()
+	removeFiles(victims)
+	t.persistOrder(order)
 	return nil
 }
 
@@ -496,7 +504,12 @@ func (t *Tier) Fill(key uint32, data []byte, prefetched bool) error {
 // entries (they evict when pressure recurs after unpinning) and never
 // the MRU head — evicting the entry a fill just installed would be
 // self-defeating, so the tier runs transiently over capacity instead.
-func (t *Tier) evictLocked() {
+// Victims are detached from the index here but their files are NOT
+// removed: the caller unlinks the returned paths after releasing t.mu,
+// so foreground readers never wait on the filesystem. A crash between
+// detach and unlink leaves an orphan file that the next Open's scan
+// re-indexes or prunes — the tier is a cache, nothing is lost.
+func (t *Tier) evictLocked() (victims []string) {
 	e := t.tail
 	for t.bytes > t.capacity && e != nil && e != t.head {
 		victim := e
@@ -509,30 +522,54 @@ func (t *Tier) evictLocked() {
 		}
 		t.stats.Evictions++
 		t.dropLocked(victim)
-		os.Remove(victim.path)
+		victims = append(victims, victim.path)
+	}
+	return victims
+}
+
+// removeFiles unlinks evicted entry files. Callers invoke it after
+// releasing t.mu.
+func removeFiles(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
 	}
 }
 
-// persistLocked writes the LRU order sidecar (atomic rename; loss of
-// the sidecar loses recency, never data).
-func (t *Tier) persistLocked() {
+// orderLocked snapshots the LRU order for the sidecar.
+func (t *Tier) orderLocked() []uint32 {
 	order := make([]uint32, 0, len(t.entries))
 	for e := t.head; e != nil; e = e.next {
 		order = append(order, e.key)
 	}
+	return order
+}
+
+// persistOrder writes the LRU order sidecar (atomic rename; loss of
+// the sidecar loses recency, never data). It runs WITHOUT t.mu held —
+// the order is a snapshot — so concurrent fills may write sidecars out
+// of order; each write is internally consistent (own temp file, atomic
+// rename) and a stale order only skews restart warmth, never data.
+func (t *Tier) persistOrder(order []uint32) {
 	b, err := json.Marshal(struct {
 		Order []uint32 `json:"order"`
 	}{Order: order})
 	if err != nil {
 		return
 	}
-	tmp := filepath.Join(t.dir, stateName+tmpSuffix)
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		os.Remove(tmp)
+	tmp, err := os.CreateTemp(t.dir, stateName+"-*"+tmpSuffix)
+	if err != nil {
 		return
 	}
-	if err := os.Rename(tmp, filepath.Join(t.dir, stateName)); err != nil {
-		os.Remove(tmp)
+	_, err = tmp.Write(b)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(t.dir, stateName)); err != nil {
+		os.Remove(tmp.Name())
 	}
 }
 
@@ -598,16 +635,18 @@ func (t *Tier) WaitIdle() {
 func (t *Tier) Close() error {
 	t.WaitIdle()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
-	t.persistLocked()
+	order := t.orderLocked()
 	for e := t.head; e != nil; e = e.next {
 		if e.refs == 0 {
 			t.unmapLocked(e)
 		}
 	}
+	t.mu.Unlock()
+	t.persistOrder(order)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -380,5 +381,120 @@ func TestStatePersistsAcrossManyCycles(t *testing.T) {
 		if !tier.Contains(key) {
 			t.Fatalf("entry %d lost across restart cycles", key)
 		}
+	}
+}
+
+// Eviction must unlink the victim's backing file, not just forget it:
+// the tier frees disk space, and the caller observes it synchronously
+// once Fill returns (files are removed after t.mu is released, before
+// Fill's return).
+func TestEvictionRemovesEntryFiles(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 250)
+	defer tier.Close()
+
+	fill(t, tier, 1, payload(1, 100))
+	fill(t, tier, 2, payload(2, 100))
+	fill(t, tier, 3, payload(3, 100)) // evicts 1 (coldest)
+
+	if tier.Contains(1) {
+		t.Fatal("LRU entry 1 survived an over-capacity fill")
+	}
+	if _, err := os.Stat(filepath.Join(dir, entryName(1))); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry file still on disk: stat err = %v", err)
+	}
+	for _, key := range []uint32{2, 3} {
+		if _, err := os.Stat(filepath.Join(dir, entryName(key))); err != nil {
+			t.Fatalf("resident entry %d file missing: %v", key, err)
+		}
+	}
+}
+
+// The LRU sidecar must be written by Fill itself, not only by Close: a
+// node that crashes without a clean shutdown still restarts warm.
+func TestSidecarDurableWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 1<<20)
+	fill(t, tier, 1, payload(1, 100))
+	fill(t, tier, 2, payload(2, 100))
+	fill(t, tier, 3, payload(3, 100))
+	if h, ok := tier.Get(2); ok {
+		h.Release()
+	} else {
+		t.Fatal("Get(2) missed")
+	}
+	// Crash: no Close, so recency (2 warmest) must come from the
+	// sidecars the fills wrote. The Get's recency bump is allowed to be
+	// lost (only fills persist), so squeeze to one survivor determined
+	// by fill order alone: 3 was filled last.
+	tier = openTier(t, dir, 150)
+	defer tier.Close()
+	if !tier.Contains(3) {
+		t.Fatal("most-recently-filled entry 3 did not survive the post-crash squeeze: fills are not persisting the sidecar")
+	}
+	if tier.Contains(1) {
+		t.Fatal("coldest entry 1 survived the post-crash squeeze")
+	}
+}
+
+// No temp files may linger after fills, evictions, and sidecar writes:
+// every CreateTemp is either renamed into place or removed.
+func TestNoTempFilesAfterSteadyState(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir, 300)
+	for key := uint32(0); key < 16; key++ {
+		fill(t, tier, key, payload(key, 64))
+	}
+	tier.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), tmpSuffix) {
+			t.Fatalf("temp file %s left behind", de.Name())
+		}
+	}
+}
+
+// Concurrent fills, gets, and promotions across overlapping keys: the
+// lock/IO split (evict victims and sidecar writes outside t.mu) must
+// hold up under the race detector, and every surviving entry must read
+// back its own bytes.
+func TestConcurrentFillGetPromote(t *testing.T) {
+	tier := openTier(t, t.TempDir(), 4096)
+	defer tier.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := uint32((g*50 + i) % 24)
+				switch i % 3 {
+				case 0:
+					_ = tier.Fill(key, payload(key, 128), false)
+				case 1:
+					if h, ok := tier.Get(key); ok {
+						if !bytes.Equal(h.Bytes(), payload(key, 128)) {
+							t.Errorf("entry %d read back wrong bytes", key)
+						}
+						h.Release()
+					}
+				case 2:
+					tier.Promote(key, g%2 == 0, func() ([]byte, error) {
+						return payload(key, 128), nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	tier.WaitIdle()
+
+	st := tier.Stats()
+	if st.Bytes > 4096+128 {
+		t.Fatalf("tier runs %d bytes, capacity 4096 (+1 MRU entry slack)", st.Bytes)
 	}
 }

@@ -66,6 +66,7 @@ func (a *Adaptive) maybeRetune() {
 	if err != nil {
 		return // no curves registered yet: keep the engine's α
 	}
+	//lifevet:allow lockdiscipline -- SetAlpha's inbox send bounds in one engine step; a.mu only serializes retune decisions and has no reader on the query path
 	if a.live.SetAlpha(alpha) == nil {
 		a.current = rate
 		a.retunes++

@@ -38,6 +38,8 @@ type PerfReport struct {
 // queue lengths and ages). It exists so the skybench binary can record
 // the same quantities the in-tree benchmarks measure without importing
 // the testing package.
+//
+//lifevet:allow wallclock -- the probe's whole purpose is measuring real elapsed time of the hot path; it never runs inside a replayed schedule
 func PerfProbe(buckets int) (PerfReport, error) {
 	if buckets < 1 {
 		return PerfReport{}, fmt.Errorf("core: PerfProbe buckets %d < 1", buckets)

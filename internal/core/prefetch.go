@@ -60,6 +60,9 @@ func (s *scheduler) prefetchUpcoming(picked int) {
 // count — eviction, residency, and prefetch-outcome deltas from the
 // shared tier.
 func (s *scheduler) pollTierMetrics() {
+	if s.obs == nil {
+		return
+	}
 	hits, misses := s.tierB.ForegroundCounts()
 	s.obs.diskHits.Add(float64(hits - s.lastTierHits))
 	s.obs.diskMiss.Add(float64(misses - s.lastTierMisses))

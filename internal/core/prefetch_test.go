@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"liferaft/internal/cache/disktier"
+)
+
+type stubTierBackend struct{}
+
+func (stubTierBackend) ForegroundCounts() (int64, int64) { return 0, 0 }
+func (stubTierBackend) Tier() *disktier.Tier             { return nil }
+
+// pollTierMetrics must be a no-op when instrumentation is off: the
+// metrics handle is nil whenever Config.Metrics was nil, and a tiered
+// backend without an observer must not dereference it (regression for
+// the nilguard finding on s.obs).
+func TestPollTierMetricsWithoutObs(t *testing.T) {
+	s := &scheduler{tierB: stubTierBackend{}}
+	s.pollTierMetrics() // must return before touching s.obs or the tier
+}

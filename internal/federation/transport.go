@@ -293,6 +293,8 @@ func (c *Client) roundTrip(req rpcRequest) (rpcResponse, error) {
 // (Done fired without a deadline — an abandoned caller) aborts in-flight
 // I/O immediately by expiring the connection deadline, and the torn
 // connection is discarded rather than reused.
+//
+//lifevet:allow lockdiscipline -- c.mu intentionally serializes the whole exchange: the client models one in-flight RPC per connection, every network op is deadline-bounded, and no hot scheduling path contends on this lock
 func (c *Client) roundTripCtx(ctx context.Context, req rpcRequest) (rpcResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

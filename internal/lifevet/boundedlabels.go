@@ -1,0 +1,178 @@
+package lifevet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// AnalyzerBoundedLabels enforces bounded cardinality on tenant-labeled
+// metric families. Tenants are caller-controlled input: an unbounded
+// {tenant} Vec lets one churny client grow the registry and every
+// scrape without limit. Any metric.New*Vec call whose label list
+// contains "tenant" must pass a VecOpts with MaxSeries set (the
+// bounded-cardinality wrapper pattern of internal/server/obs.go, where
+// idle tenants fold into the "_other" overflow series).
+var AnalyzerBoundedLabels = &Analyzer{
+	Name: "boundedlabels",
+	Doc:  "tenant-labeled metric Vecs must set VecOpts.MaxSeries (bounded cardinality)",
+	Run:  runBoundedLabels,
+}
+
+// vecConstructors maps the metric-registry Vec constructors to the
+// argument index of their VecOpts parameter (the labels slice is always
+// argument 2).
+var vecConstructors = map[string]int{
+	"NewCounterVec":   3,
+	"NewGaugeVec":     3,
+	"NewHistogramVec": 4,
+}
+
+func runBoundedLabels(m *Module, r *Reporter) {
+	for _, pkg := range m.Packages {
+		inits := singleInitializers(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				optsIdx, ok := vecConstructors[fn.Name()]
+				if !ok || fn.Pkg() == nil || !PathInScope(fn.Pkg().Path(), "internal/metric") {
+					return true
+				}
+				if len(call.Args) <= optsIdx {
+					return true
+				}
+				labels, known := stringElems(pkg, inits, call.Args[2])
+				if !known {
+					return true // dynamic label list: out of this check's reach
+				}
+				hasTenant := false
+				for _, l := range labels {
+					if l == "tenant" {
+						hasTenant = true
+					}
+				}
+				if !hasTenant {
+					return true
+				}
+				if !optsBounded(pkg, inits, call.Args[optsIdx]) {
+					r.Reportf(call.Pos(), "%s with a \"tenant\" label must pass metric.VecOpts{MaxSeries: ...}: tenant names are caller-controlled, and an uncapped family lets tenant churn grow the registry and every scrape without bound", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// singleInitializers maps variables defined exactly once by a simple
+// `x := expr` / `var x = expr` to that expression, so label and opts
+// arguments passed through a local (the obs.go idiom) still resolve.
+func singleInitializers(pkg *Package) map[*types.Var]ast.Expr {
+	inits := make(map[*types.Var]ast.Expr)
+	reassigned := make(map[*types.Var]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						if _, dup := inits[v]; dup {
+							reassigned[v] = true
+						}
+						inits[v] = n.Rhs[i]
+					} else if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						reassigned[v] = true // plain assignment after definition
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						inits[v] = n.Values[i]
+					}
+				}
+			}
+			return true
+		})
+	}
+	for v := range reassigned {
+		delete(inits, v)
+	}
+	return inits
+}
+
+// resolveExpr follows one level of single-assignment locals.
+func resolveExpr(pkg *Package, inits map[*types.Var]ast.Expr, e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			if init, ok := inits[v]; ok {
+				return ast.Unparen(init)
+			}
+		}
+	}
+	return e
+}
+
+// stringElems extracts the constant strings of a []string literal
+// (possibly behind a single-assignment local). known is false when the
+// expression cannot be proven to be a literal list.
+func stringElems(pkg *Package, inits map[*types.Var]ast.Expr, e ast.Expr) (elems []string, known bool) {
+	lit, ok := resolveExpr(pkg, inits, e).(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	for _, el := range lit.Elts {
+		tv, ok := pkg.Info.Types[el]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return nil, false
+		}
+		elems = append(elems, constant.StringVal(tv.Value))
+	}
+	return elems, true
+}
+
+// optsBounded reports whether the VecOpts argument provably sets a
+// nonzero MaxSeries. Unresolvable expressions count as unbounded: a
+// tenant-labeled family must be *provably* capped.
+func optsBounded(pkg *Package, inits map[*types.Var]ast.Expr, e ast.Expr) bool {
+	lit, ok := resolveExpr(pkg, inits, e).(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "MaxSeries" {
+			continue
+		}
+		tv, ok := pkg.Info.Types[kv.Value]
+		if !ok {
+			return false
+		}
+		if tv.Value != nil {
+			v, exact := constant.Int64Val(tv.Value)
+			return exact && v > 0
+		}
+		return true // non-constant expression: explicitly set, assume intentional
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package lifevet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerHotpathAlloc guards the zero-alloc service loop. The engine's
+// steady state — step, the indexed LifeRaft pick, and trace visit
+// accounting — must not allocate: TestStepServiceLoopZeroAlloc pins
+// 0 allocs/op, and a single make/new/boxing site on that path turns
+// every scheduling tick into GC pressure. This analyzer walks the
+// static call graph from the service-loop roots and flags allocating
+// constructs (make, new, composite-literal addresses, fmt calls,
+// closures, goroutine launches) in any reachable module function.
+//
+// Pool-backed or cold-start allocations that are deliberate (pool-miss
+// construction, panic messages on corruption) carry //lifevet:allow
+// hotpath-alloc directives, so the allowlist is explicit and audited
+// rather than implied.
+var AnalyzerHotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "functions reachable from the service loop must not allocate",
+	Run:  runHotpathAlloc,
+}
+
+// hotpathRoot identifies a service-loop entry point: a function with
+// this name declared in a package whose import path has this suffix.
+type hotpathRoot struct {
+	pkgSuffix string
+	name      string
+}
+
+var hotpathRoots = []hotpathRoot{
+	{"internal/core", "step"},
+	{"internal/core", "pickLifeRaftIndexed"},
+	{"internal/trace", "ServiceVisit"},
+}
+
+func runHotpathAlloc(m *Module, r *Reporter) {
+	ix := buildFuncIndex(m)
+
+	// Seed the worklist with the declared roots.
+	type rootedFunc struct {
+		fn   *types.Func
+		root string
+	}
+	var work []rootedFunc
+	rootOf := make(map[*types.Func]string)
+	for fn, d := range ix.decls {
+		for _, root := range hotpathRoots {
+			if fn.Name() == root.name && PathInScope(d.pkg.ImportPath, root.pkgSuffix) {
+				rootOf[fn] = funcDisplay(fn)
+				work = append(work, rootedFunc{fn, funcDisplay(fn)})
+			}
+		}
+	}
+
+	// BFS over static callees: everything reachable inherits the
+	// nearest root for diagnostics.
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		d := ix.decls[cur.fn]
+		if d == nil {
+			continue
+		}
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := origin(staticCallee(d.pkg.Info, call))
+			if callee == nil {
+				return true
+			}
+			if _, inModule := ix.decls[callee]; !inModule {
+				return true
+			}
+			if _, seen := rootOf[callee]; seen {
+				return true
+			}
+			rootOf[callee] = cur.root
+			work = append(work, rootedFunc{callee, cur.root})
+			return true
+		})
+	}
+
+	// Flag allocating constructs in every reachable function.
+	for fn, root := range rootOf {
+		d := ix.decls[fn]
+		if d == nil {
+			continue
+		}
+		checkAllocs(d, root, r)
+	}
+}
+
+// checkAllocs walks one reachable function body and reports allocating
+// constructs. panic(...) arguments are exempt: a corruption panic is
+// already off the steady-state path, and its message formatting is the
+// last thing the process does.
+func checkAllocs(d *funcDecl, root string, r *Reporter) {
+	info := d.pkg.Info
+	report := func(pos ast.Node, what string) {
+		r.Reportf(pos.Pos(), "%s in %s, reachable from service-loop root %s; the steady-state loop is pinned at 0 allocs/op", what, funcDisplay(d.fn), root)
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "panic":
+						// Everything under panic(...) is post-mortem.
+						return false
+					case "make", "new":
+						report(n, fmt.Sprintf("%s allocates", id.Name))
+					case "append":
+						// append itself is gated by the runtime alloc
+						// probe: amortized growth of pooled slices is
+						// the engine's documented pattern.
+					}
+				}
+			}
+			if fn := staticCallee(info, n); fn != nil && isPkgFunc(fn, "fmt") {
+				report(n, "fmt."+fn.Name()+" allocates (formats and boxes its arguments)")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes and allocates")
+					return false
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			// Slice and map literals allocate their backing store;
+			// struct/array values do not (they live in the frame).
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "slice/map literal allocates its backing store")
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			report(n, "func literal allocates a closure")
+			return false // its body is not on the synchronous path we prove
+		case *ast.GoStmt:
+			report(n, "go statement allocates a goroutine stack")
+			return true
+		}
+		return true
+	}
+	ast.Inspect(d.decl.Body, walk)
+}

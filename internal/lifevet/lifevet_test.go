@@ -1,0 +1,207 @@
+package lifevet
+
+import (
+	"bufio"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The golden-fixture harness copies testdata/<name> into a temp dir,
+// stamps a go.mod onto it (module "fixture", so the analyzers'
+// suffix-scoped package predicates fire for fixture/internal/...), runs
+// the production loader and analyzer set, and matches the result
+// bidirectionally against `// want <check> "substr"` comments: every
+// diagnostic must be expected, and every expectation must be hit.
+
+var wantRe = regexp.MustCompile(`// want ([a-z-]+)(?: "([^"]*)")?`)
+
+type want struct {
+	file   string
+	line   int
+	check  string
+	substr string
+}
+
+func runFixture(t *testing.T, name string) (Result, string) {
+	t.Helper()
+	dir := t.TempDir()
+	src := filepath.Join("testdata", name)
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, p)
+		if rerr != nil {
+			return rerr
+		}
+		dst := filepath.Join(dir, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy fixture %s: %v", name, err)
+	}
+	mod := []byte("module fixture\n\ngo 1.24\n")
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), mod, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return Run(m, Analyzers()), dir
+}
+
+func collectWants(t *testing.T, dir string) []want {
+	t.Helper()
+	var wants []want
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(p) != ".go" {
+			return err
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				wants = append(wants, want{file: p, line: line, check: m[1], substr: m[2]})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("collect wants: %v", err)
+	}
+	return wants
+}
+
+// checkFixture asserts the diagnostic set matches the want-comments
+// exactly and returns the Result for extra assertions (Suppressed).
+func checkFixture(t *testing.T, name string) Result {
+	t.Helper()
+	res, dir := runFixture(t, name)
+	wants := collectWants(t, dir)
+	used := make([]bool, len(wants))
+	for _, d := range res.Diagnostics {
+		matched := false
+		for i, w := range wants {
+			if !used[i] && w.file == d.File && w.line == d.Line && w.check == d.Check &&
+				(w.substr == "" || containsSubstr(d.Message, w.substr)) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s:%d [%s] %s", relTo(dir, d.File), d.Line, d.Check, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("missing diagnostic: want %s at %s:%d (substr %q)", w.check, relTo(dir, w.file), w.line, w.substr)
+		}
+	}
+	return res
+}
+
+func containsSubstr(msg, substr string) bool {
+	return substr == "" || regexp.MustCompile(regexp.QuoteMeta(substr)).MatchString(msg)
+}
+
+func relTo(dir, p string) string {
+	if rel, err := filepath.Rel(dir, p); err == nil {
+		return rel
+	}
+	return p
+}
+
+func assertSuppressed(t *testing.T, res Result, n int) {
+	t.Helper()
+	if res.Suppressed != n {
+		t.Errorf("suppressed = %d, want %d", res.Suppressed, n)
+	}
+}
+
+func TestWallclockFixture(t *testing.T) {
+	// One positive per flagged func, time.Time methods and out-of-scope
+	// packages ignored, one line-directive suppression.
+	res := checkFixture(t, "wallclock")
+	assertSuppressed(t, res, 1)
+}
+
+func TestHotpathAllocFixture(t *testing.T) {
+	// make/&lit/fmt flagged only when reachable from the step root;
+	// panic arguments and unreachable helpers are exempt.
+	res := checkFixture(t, "hotpathalloc")
+	assertSuppressed(t, res, 0)
+}
+
+func TestNilguardFixture(t *testing.T) {
+	// Unguarded derefs flagged; dominating checks, early returns,
+	// conjunct guards, and guarded-type receivers are clean; guards die
+	// on reassignment and do not leak into closures.
+	res := checkFixture(t, "nilguard")
+	assertSuppressed(t, res, 0)
+}
+
+func TestBoundedLabelsFixture(t *testing.T) {
+	// Tenant-labeled Vecs without MaxSeries flagged, including through
+	// single-assignment locals; capped or tenant-free families pass.
+	res := checkFixture(t, "boundedlabels")
+	assertSuppressed(t, res, 0)
+}
+
+func TestFDLeakFixture(t *testing.T) {
+	// Error returns after a successful open must close first; defers,
+	// explicit closes, and ownership transfers end tracking.
+	res := checkFixture(t, "fdleak")
+	assertSuppressed(t, res, 0)
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	// Disk and channel traffic under a held mutex flagged, including
+	// through the transitive I/O summary; unlock-first and
+	// select-with-default are clean.
+	res := checkFixture(t, "lockdiscipline")
+	assertSuppressed(t, res, 0)
+}
+
+func TestDirectivesFixture(t *testing.T) {
+	// One line directive carrying two checks suppresses both; a
+	// doc-comment directive covers the whole function; stale, unknown,
+	// and empty directives are themselves diagnostics.
+	res := checkFixture(t, "directives")
+	assertSuppressed(t, res, 4)
+}
+
+func TestAnalyzersRegistered(t *testing.T) {
+	as := Analyzers()
+	if len(as) < 6 {
+		t.Fatalf("Analyzers() returned %d analyzers, want >= 6", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run func", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if seen[StaleDirectiveCheck] {
+		t.Errorf("%q is reserved for the directive meta-check", StaleDirectiveCheck)
+	}
+}

@@ -1,0 +1,210 @@
+package lifevet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Package is one type-checked main-module package: its syntax trees plus
+// the go/types objects the analyzers resolve against.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the loaded main module: every package the requested patterns
+// cover, type-checked from source in dependency order (so cross-package
+// references resolve to identical type objects).
+type Module struct {
+	Path     string
+	Dir      string
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// PackageBySuffix returns the loaded packages whose import path matches
+// base: equal to it, ending in "/"+base, or containing "/"+base+"/" (so
+// "internal/cache" covers internal/cache/disktier). Scope predicates
+// match by suffix rather than full path so analyzer tests can run the
+// same analyzers over fixture modules.
+func (m *Module) PackagesInScope(bases ...string) []*Package {
+	var out []*Package
+	for _, p := range m.Packages {
+		if PathInScope(p.ImportPath, bases...) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PathInScope reports whether import path p falls under any of the given
+// path bases (see PackagesInScope).
+func PathInScope(p string, bases ...string) bool {
+	for _, b := range bases {
+		if p == b || strings.HasSuffix(p, "/"+b) || strings.Contains(p, "/"+b+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// exportLookup resolves dependency imports from the compiler export data
+// `go list -export` recorded, keyed by import path.
+type exportLookup struct {
+	exports map[string]string
+}
+
+func (l *exportLookup) open(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("lifevet: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// moduleImporter prefers packages already type-checked from source (so
+// intra-module imports share type identity) and falls back to export
+// data for everything else.
+type moduleImporter struct {
+	source map[string]*types.Package
+	gc     types.Importer
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.source[path]; ok {
+		return p, nil
+	}
+	return im.gc.Import(path)
+}
+
+// Load builds, lists, parses, and type-checks the main-module packages
+// matched by patterns (default "./...") under dir, using only the Go
+// toolchain and the standard library: dependencies are imported from the
+// compiler's export data, module packages are checked from source.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,Standard,Export,GoFiles,Imports,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lifevet: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	// -deps emits packages in dependency order: every import of a package
+	// appears before it, so one forward pass can type-check from source
+	// with all module dependencies already resolved.
+	var listed []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lifevet: decoding go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	lookup := &exportLookup{exports: make(map[string]string, len(listed))}
+	for _, p := range listed {
+		if p.Export != "" {
+			lookup.exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := &moduleImporter{
+		source: make(map[string]*types.Package),
+		gc:     importer.ForCompiler(token.NewFileSet(), "gc", lookup.open),
+	}
+
+	m := &Module{Dir: dir, Fset: token.NewFileSet(), byPath: make(map[string]*Package)}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil || !lp.Module.Main {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lifevet: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if m.Path == "" {
+			m.Path = lp.Module.Path
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(m.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lifevet: parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(lp.ImportPath, m.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lifevet: type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       m.Fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}
+		imp.source[lp.ImportPath] = tpkg
+		m.Packages = append(m.Packages, pkg)
+		m.byPath[lp.ImportPath] = pkg
+	}
+	if len(m.Packages) == 0 {
+		return nil, fmt.Errorf("lifevet: patterns %v matched no main-module packages under %s", patterns, dir)
+	}
+	return m, nil
+}

@@ -1,0 +1,299 @@
+package lifevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerNilguard enforces the nil-guarded observability convention on
+// engine paths: EngineMetrics/EngineObs handles and the trace Recorder
+// are nil by default (the zero-alloc, uninstrumented configuration), so
+// any field access or method call through them must be dominated by a
+// `!= nil` check. A missed guard is a latent panic that only fires on
+// un-instrumented deployments — exactly the configurations tests
+// exercise least.
+//
+// The check is intra-procedural: a function whose callers guarantee a
+// non-nil handle (e.g. one only called from inside a guarded branch)
+// documents that contract with a //lifevet:allow nilguard directive on
+// its declaration. Methods declared *on* a guarded type assume their
+// own receiver non-nil; every other guarded expression still needs its
+// check.
+var AnalyzerNilguard = &Analyzer{
+	Name: "nilguard",
+	Doc:  "EngineMetrics/EngineObs/trace.Recorder derefs must be dominated by a nil check",
+	Run:  runNilguard,
+}
+
+// nilguardScopes are the packages whose hot paths run with nil
+// observability handles by default.
+var nilguardScopes = []string{"internal/core"}
+
+// guardedTypeNames maps package-path suffix to the type names whose
+// pointers must be nil-checked before dereference.
+var guardedTypeNames = map[string][]string{
+	"internal/core":  {"EngineMetrics", "EngineObs"},
+	"internal/trace": {"Recorder"},
+}
+
+func isGuardedType(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		// Also accept the named pointer case and plain named struct? No:
+		// only pointers can be nil-dereferenced here.
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			ptr = p
+		} else {
+			return false
+		}
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	names, ok := guardedTypeNames[scopeKeyFor(named.Obj().Pkg().Path())]
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if named.Obj().Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeKeyFor maps an import path to its guardedTypeNames key.
+func scopeKeyFor(path string) string {
+	for key := range guardedTypeNames {
+		if PathInScope(path, key) {
+			return key
+		}
+	}
+	return ""
+}
+
+func runNilguard(m *Module, r *Reporter) {
+	for _, pkg := range m.PackagesInScope(nilguardScopes...) {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				g := &nilGuardChecker{pkg: pkg, r: r}
+				guards := map[string]bool{}
+				// A method on a guarded type assumes its own receiver
+				// non-nil: callers hold the guard.
+				if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					if tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]; ok && isGuardedType(tv.Type) {
+						guards[fd.Recv.List[0].Names[0].Name] = true
+					}
+				}
+				g.walkStmts(fd.Body.List, guards)
+			}
+		}
+	}
+}
+
+type nilGuardChecker struct {
+	pkg *Package
+	r   *Reporter
+}
+
+// walkStmts checks statements in order. guards maps expression paths
+// ("s.obs") proven non-nil on this path; branches copy it.
+func (g *nilGuardChecker) walkStmts(stmts []ast.Stmt, guards map[string]bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			if s.Init != nil {
+				g.checkExpr(s.Init, guards)
+			}
+			g.checkExpr(s.Cond, guards)
+			nonNil, isNilEq, path := nilCondition(s.Cond)
+			then := copyGuards(guards)
+			els := copyGuards(guards)
+			if path != "" && nonNil {
+				then[path] = true
+			}
+			if path != "" && isNilEq {
+				els[path] = true
+			}
+			g.walkStmts(s.Body.List, then)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				g.walkStmts(e.List, els)
+			case *ast.IfStmt:
+				g.walkStmts([]ast.Stmt{e}, els)
+			}
+			// `if p == nil { return }` guards the remainder of this block.
+			if path != "" && isNilEq && terminates(s.Body) {
+				guards = copyGuards(guards)
+				guards[path] = true
+			}
+		case *ast.AssignStmt:
+			g.checkExpr(s, guards)
+			for _, lhs := range s.Lhs {
+				if p := exprPath(lhs); p != "" && len(guards) > 0 {
+					guards = invalidate(guards, p)
+				}
+			}
+		case *ast.BlockStmt:
+			g.walkStmts(s.List, copyGuards(guards))
+		case *ast.LabeledStmt:
+			g.walkStmts([]ast.Stmt{s.Stmt}, guards)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				g.checkExpr(s.Init, guards)
+			}
+			g.checkExpr(s.Cond, guards)
+			if s.Post != nil {
+				g.checkExpr(s.Post, guards)
+			}
+			g.walkStmts(s.Body.List, copyGuards(guards))
+		case *ast.RangeStmt:
+			g.checkExpr(s.X, guards)
+			g.walkStmts(s.Body.List, copyGuards(guards))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				g.checkExpr(s.Init, guards)
+			}
+			g.checkExpr(s.Tag, guards)
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					for _, e := range cl.List {
+						g.checkExpr(e, guards)
+					}
+					g.walkStmts(cl.Body, copyGuards(guards))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Assign != nil {
+				g.checkExpr(s.Assign, guards)
+			}
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					g.walkStmts(cl.Body, copyGuards(guards))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CommClause); ok {
+					g.walkStmts(cl.Body, copyGuards(guards))
+				}
+			}
+		default:
+			g.checkExpr(s, guards)
+		}
+	}
+}
+
+// checkExpr flags guarded-type dereferences in n that no dominating nil
+// check covers. Function literals get a fresh (empty) guard set: the
+// closure may run long after the guard.
+func (g *nilGuardChecker) checkExpr(n ast.Node, guards map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.walkStmts(n.Body.List, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			base := ast.Unparen(n.X)
+			tv, ok := g.pkg.Info.Types[base]
+			if !ok || !isGuardedType(tv.Type) {
+				return true
+			}
+			p := exprPath(base)
+			if p != "" && guards[p] {
+				return true
+			}
+			g.r.Reportf(n.Pos(), "%s dereferences %s (type %s) without a dominating nil check; observability handles are nil when instrumentation is off", exprPath(n), renderExpr(p, base), tv.Type)
+			return true
+		}
+		return true
+	})
+}
+
+func renderExpr(path string, e ast.Expr) string {
+	if path != "" {
+		return path
+	}
+	return "expression"
+}
+
+// nilCondition classifies cond: `p != nil` (possibly the head of a &&
+// chain) or `p == nil`, returning the guarded path.
+func nilCondition(cond ast.Expr) (nonNil, isNilEq bool, path string) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false, false, ""
+	}
+	if be.Op == token.LAND {
+		// First conjunct guards the rest and the body.
+		return nilCondition(be.X)
+	}
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return false, false, ""
+	}
+	var other ast.Expr
+	if isNilIdent(be.Y) {
+		other = be.X
+	} else if isNilIdent(be.X) {
+		other = be.Y
+	} else {
+		return false, false, ""
+	}
+	p := exprPath(other)
+	if p == "" {
+		return false, false, ""
+	}
+	return be.Op == token.NEQ, be.Op == token.EQL, p
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block certainly leaves the enclosing
+// block: its last statement is a return, branch, or panic call.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// invalidate drops guards for path and anything reached through it.
+func invalidate(guards map[string]bool, path string) map[string]bool {
+	out := copyGuards(guards)
+	for p := range out {
+		if p == path || len(p) > len(path) && p[:len(path)] == path && p[len(path)] == '.' {
+			delete(out, p)
+		}
+	}
+	return out
+}
+
+func copyGuards(g map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}

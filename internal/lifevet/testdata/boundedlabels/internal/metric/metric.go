@@ -1,0 +1,25 @@
+// Package metric mirrors the registry constructor signatures that the
+// boundedlabels analyzer keys on.
+package metric
+
+type VecOpts struct {
+	MaxSeries int
+}
+
+type Registry struct{}
+
+type CounterVec struct{}
+type GaugeVec struct{}
+type HistogramVec struct{}
+
+func (r *Registry) NewCounterVec(name, help string, labels []string, opts VecOpts) *CounterVec {
+	return &CounterVec{}
+}
+
+func (r *Registry) NewGaugeVec(name, help string, labels []string, opts VecOpts) *GaugeVec {
+	return &GaugeVec{}
+}
+
+func (r *Registry) NewHistogramVec(name, help string, labels []string, buckets []float64, opts VecOpts) *HistogramVec {
+	return &HistogramVec{}
+}

@@ -1,0 +1,20 @@
+package obs
+
+import "fixture/internal/metric"
+
+func register(reg *metric.Registry) {
+	// Unbounded tenant family: the zero VecOpts caps nothing.
+	reg.NewCounterVec("requests_total", "requests", []string{"tenant", "verb"}, metric.VecOpts{}) // want boundedlabels "must pass metric.VecOpts"
+
+	// Labels and opts routed through single-assignment locals still resolve.
+	labels := []string{"tenant"}
+	uncapped := metric.VecOpts{}
+	reg.NewHistogramVec("latency_seconds", "latency", labels, []float64{0.1, 1}, uncapped) // want boundedlabels "must pass metric.VecOpts"
+
+	// Bounded: MaxSeries set to a positive constant.
+	capped := metric.VecOpts{MaxSeries: 64}
+	reg.NewCounterVec("admissions_total", "admissions", []string{"tenant", "decision"}, capped)
+
+	// Non-tenant labels carry no caller-controlled cardinality.
+	reg.NewGaugeVec("queue_depth", "depth", []string{"shard"}, metric.VecOpts{})
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+type sched struct{ n int }
+
+// step is the service-loop root wiring the helpers into the hot path.
+func (s *sched) step() {
+	s.both()
+	s.helper()
+	s.stale()
+}
+
+// both silences two checks with one line-scoped directive.
+func (s *sched) both() {
+	//lifevet:allow wallclock, hotpath-alloc -- fixture: one directive, two checks
+	_ = fmt.Sprint(time.Now())
+}
+
+//lifevet:allow hotpath-alloc -- fixture: doc-comment directive covers the whole body
+func (s *sched) helper() {
+	buf := make([]byte, 8)
+	_ = fmt.Sprintf("%d", len(buf))
+}
+
+// stale hosts directives that match nothing, plus malformed ones.
+func (s *sched) stale() {
+	s.n++
+	//lifevet:allow wallclock -- fixture: nothing nearby reads the clock // want stale-directive "suppressed no wallclock"
+	s.n++
+	//lifevet:allow warpclock -- fixture: no such analyzer // want stale-directive "unknown check"
+	s.n++
+	//lifevet:allow -- fixture: empty check list // want stale-directive "names no checks"
+	s.n++
+}

@@ -1,0 +1,85 @@
+package segment
+
+import "os"
+
+// leak opens a file and drops the descriptor on the write-error path.
+func leak(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err // open failed: nothing to close
+	}
+	if _, err := f.Write(data); err != nil {
+		return err // want fdleak "not closed on this error-return path"
+	}
+	return f.Close()
+}
+
+// clean closes on every error path.
+func clean(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// deferred hands the close to defer: ownership is settled immediately.
+func deferred(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// transfer returns the handle: the caller owns the close from here on.
+func transfer(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Set is a descriptor-owning handle, like the real segment set.
+type Set struct{ f *os.File }
+
+// OpenSet is a module-level open entry point the analyzer tracks.
+func OpenSet(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{f: f}, nil
+}
+
+func (s *Set) Close() error { return s.f.Close() }
+
+func (s *Set) stat() (int64, error) {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// leakSet drops a Set on the validation-error path.
+func leakSet(path string) (*Set, error) {
+	s, err := OpenSet(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.stat(); err != nil {
+		return nil, err // want fdleak "not closed on this error-return path"
+	}
+	return s, nil
+}

@@ -1,0 +1,35 @@
+package core
+
+import "fmt"
+
+type pair struct{ a int }
+
+type sched struct {
+	buf []int
+}
+
+// step is a service-loop root by name and package.
+func (s *sched) step() {
+	s.service(1)
+	if len(s.buf) > 100 {
+		// panic arguments are post-mortem: formatting the crash message
+		// is the last thing the process does.
+		panic(fmt.Sprintf("overflow %d", len(s.buf)))
+	}
+}
+
+// service is reachable from step: allocations here are hot-path bugs.
+func (s *sched) service(n int) {
+	s.buf = append(s.buf, n) // append: amortized pooled growth, probe-gated
+	x := make([]int, n)      // want hotpath-alloc "make allocates"
+	_ = x
+	p := &pair{a: n} // want hotpath-alloc "composite literal escapes"
+	_ = p
+	msg := fmt.Sprintf("%d", n) // want hotpath-alloc "fmt.Sprintf allocates"
+	_ = msg
+}
+
+// coldSetup is not reachable from any root: it may allocate freely.
+func coldSetup() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,66 @@
+package locks
+
+import (
+	"os"
+	"sync"
+)
+
+type tier struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	order []uint32
+	out   chan int
+}
+
+// persistUnderLock writes the sidecar while holding the tier lock.
+func (t *tier) persistUnderLock(path string, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	os.WriteFile(path, data, 0o644) // want lockdiscipline "os.WriteFile while holding t.mu"
+}
+
+// notifyUnderLock publishes on a channel before releasing.
+func (t *tier) notifyUnderLock(v int) {
+	t.mu.Lock()
+	t.out <- v // want lockdiscipline "channel send while holding t.mu"
+	t.mu.Unlock()
+}
+
+// readUnderRLock does file I/O under the read lock: readers block
+// writers just the same.
+func (t *tier) readUnderRLock(f *os.File, buf []byte) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	f.Read(buf) // want lockdiscipline "while holding t.rw"
+}
+
+// viaHelper blocks through a call chain: the I/O summary propagates.
+func (t *tier) viaHelper(path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flush(path) // want lockdiscipline "while holding t.mu"
+}
+
+// flush does real disk I/O; it is only a finding when called under a lock.
+func (t *tier) flush(path string) {
+	os.Remove(path)
+}
+
+// unlockFirst snapshots under the lock and blocks after releasing.
+func (t *tier) unlockFirst(path string, data []byte) {
+	t.mu.Lock()
+	order := append([]uint32(nil), t.order...)
+	t.mu.Unlock()
+	_ = order
+	os.WriteFile(path, data, 0o644)
+}
+
+// tryNotify uses select-with-default: non-blocking under the lock.
+func (t *tier) tryNotify(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case t.out <- v:
+	default:
+	}
+}

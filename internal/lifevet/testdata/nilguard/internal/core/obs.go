@@ -1,0 +1,74 @@
+package core
+
+import "fixture/internal/trace"
+
+type counter struct{ n int }
+
+func (c *counter) Inc() { c.n++ }
+
+// EngineMetrics is nil when instrumentation is off.
+type EngineMetrics struct {
+	hits counter
+}
+
+type sched struct {
+	obs *EngineMetrics
+	rec *trace.Recorder
+}
+
+// bad dereferences the handle with no dominating check.
+func bad(s *sched) {
+	s.obs.hits.Inc() // want nilguard "without a dominating nil check"
+}
+
+// badRecorder dereferences the cross-package trace handle unguarded.
+func badRecorder(s *sched) {
+	s.rec.Note() // want nilguard "without a dominating nil check"
+}
+
+// guarded is the convention: the branch dominates the deref.
+func guarded(s *sched) {
+	if s.obs != nil {
+		s.obs.hits.Inc()
+	}
+}
+
+// earlyReturn guards the remainder of the block.
+func earlyReturn(s *sched) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.hits.Inc()
+}
+
+// conjunct guards via the leading && operand.
+func conjunct(s *sched, on bool) {
+	if s.obs != nil && on {
+		s.obs.hits.Inc()
+	}
+}
+
+// reassigned loses its guard when the handle changes.
+func reassigned(s *sched, other *EngineMetrics) {
+	if s.obs == nil {
+		return
+	}
+	s.obs = other
+	s.obs.hits.Inc() // want nilguard "without a dominating nil check"
+}
+
+// closures run later: the guard does not carry into the literal.
+func closureEscapes(s *sched) func() {
+	if s.obs == nil {
+		return nil
+	}
+	return func() {
+		s.obs.hits.Inc() // want nilguard "without a dominating nil check"
+	}
+}
+
+// reset is a method ON the guarded type: its own receiver is the
+// caller's proof obligation, not this function's.
+func (m *EngineMetrics) reset() {
+	m.hits = counter{}
+}

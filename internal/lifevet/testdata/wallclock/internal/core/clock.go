@@ -1,0 +1,25 @@
+package core
+
+import "time"
+
+// bad reads the wall clock in an engine package.
+func bad() time.Time {
+	return time.Now() // want wallclock "time.Now reads the wall clock"
+}
+
+// sleepy waits on the wall clock.
+func sleepy() {
+	time.Sleep(time.Millisecond) // want wallclock "time.Sleep"
+}
+
+// methodsAreFree uses time.Time arithmetic, which never touches the
+// clock: only the package-level readers are flagged.
+func methodsAreFree(a, b time.Time) bool {
+	return a.After(b) && a.Add(time.Second).Before(b)
+}
+
+// allowed carries a line directive: an audited real-time measurement.
+func allowed() time.Time {
+	//lifevet:allow wallclock -- fixture: deliberate wall read
+	return time.Now()
+}

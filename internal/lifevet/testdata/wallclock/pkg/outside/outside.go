@@ -1,0 +1,9 @@
+// Package outside is not an engine package: wall-clock reads here are
+// unconstrained.
+package outside
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

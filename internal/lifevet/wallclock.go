@@ -1,0 +1,58 @@
+package lifevet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// engineScopes are the packages whose scheduling paths must read the
+// virtual clock: golden-trace bit-identity and virtual-clock replay
+// depend on the engine never observing real time. Matched by path
+// suffix so fixture modules exercise the same predicate.
+var engineScopes = []string{"internal/core", "internal/cache", "internal/segment"}
+
+// wallclockFuncs are the time-package entry points that observe or wait
+// on the wall clock. Types (time.Time, time.Duration) and arithmetic
+// remain free.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"After": true, "Tick": true, "Sleep": true,
+}
+
+// AnalyzerWallclock flags wall-clock reads in engine packages. The
+// engine's clock is Config.Clock (a simclock on every replay path);
+// time.Now or a timer anywhere under internal/core, internal/cache, or
+// internal/segment silently desynchronizes virtual-clock replay and
+// breaks golden-trace bit-identity. Intentional real-time measurement
+// (perf probes, wall-latency metrics) carries a //lifevet:allow
+// wallclock directive so every such site is an audited decision.
+var AnalyzerWallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "engine packages must not read the wall clock (use the configured simclock)",
+	Run:  runWallclock,
+}
+
+func runWallclock(m *Module, r *Reporter) {
+	for _, pkg := range m.PackagesInScope(engineScopes...) {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok || !wallclockFuncs[fn.Name()] || !isPkgFunc(fn, "time") {
+					return true
+				}
+				// Methods like time.Time.After share names with the
+				// package-level clock readers but are pure arithmetic.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				r.Reportf(id.Pos(), "time.%s reads the wall clock in engine package %s; scheduling paths must use the configured clock (simclock) so virtual-clock replay stays bit-identical", fn.Name(), pkg.ImportPath)
+				return true
+			})
+		}
+	}
+}

@@ -118,7 +118,20 @@ func openSegFile(path string) (*segFile, error) {
 		f.Close()
 		return nil, err
 	}
+	// Bound every header-derived size by the actual file size before
+	// allocating or trusting it: a corrupt (or hostile) header must not
+	// drive a multi-gigabyte allocation or out-of-range reads.
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
 	indexBytes := alignUp(int64(hdr.numBuckets) * indexEntryBytes)
+	if BlockSize+indexBytes > size {
+		f.Close()
+		return nil, fmt.Errorf("segment: header claims %d buckets (%d index bytes) but the file is only %d bytes", hdr.numBuckets, indexBytes, size)
+	}
 	ib := make([]byte, indexBytes)
 	if _, err := f.ReadAt(ib, BlockSize); err != nil {
 		f.Close()
@@ -129,8 +142,17 @@ func openSegFile(path string) (*segFile, error) {
 		return nil, fmt.Errorf("index checksum mismatch")
 	}
 	sf := &segFile{f: f, hdr: hdr, entries: make([]indexEntry, hdr.numBuckets)}
+	dataStart := uint64(BlockSize + indexBytes)
 	for i := range sf.entries {
-		sf.entries[i] = getIndexEntry(ib[i*indexEntryBytes:])
+		e := getIndexEntry(ib[i*indexEntryBytes:])
+		if e.length != 0 {
+			end := e.offset + e.length
+			if end < e.offset || e.offset < dataStart || end > uint64(size) {
+				f.Close()
+				return nil, fmt.Errorf("segment: bucket %d index entry [%d,+%d) outside the data region [%d,%d)", i, e.offset, e.length, dataStart, size)
+			}
+		}
+		sf.entries[i] = e
 	}
 	sf.dataStart, sf.dataEnd = sf.dataBounds()
 	return sf, nil

@@ -496,6 +496,7 @@ func (s *Server) dispatch() {
 			p.tenant.cancelled++
 			p.tr.Add(trace.Span{Stage: trace.StageEngine, Start: p.dispatched, End: p.dispatched,
 				Err: "cancelled while queued"})
+			//lifevet:allow lockdiscipline -- p.out has capacity 1 and this is its single resolution: the send can never block
 			p.out <- core.Result{QueryID: p.job.ID, Arrived: p.enq, Completed: s.clk.Now(), Cancelled: true}
 			close(p.out)
 			continue

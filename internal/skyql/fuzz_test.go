@@ -1,0 +1,32 @@
+package skyql
+
+import "testing"
+
+// FuzzSkyQL drives the lexer and recursive-descent parser with
+// arbitrary input: every outcome must be a (*Query, nil) or a
+// (nil, error) — never a panic, and never both or neither.
+func FuzzSkyQL(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT * FROM a x, b y WHERE XMATCH(x, y) < 3 AND REGION(CIRCLE, 0, -10, 2)",
+		"SELECT t.id, s.id, s.mag FROM twomass t, sdss s WHERE XMATCH(t, s) < 2 AND REGION(CIRCLE, 1, 2, 3) AND s.mag BETWEEN 10 AND 20 LIMIT 5",
+		"SELECT t.id FROM twomass t, sdss s, usnob u WHERE XMATCH(t, s, u) < 1.5 AND REGION(CIRCLE, -10.5, -45.25, 1.5)",
+		"SELECT * FROM a TABLESAMPLE (1) , b WHERE XMATCH(a,b)<2 AND REGION(CIRCLE,1,1,1)",
+		"select * from a x, b y where xmatch(x, y) < 3 and region(circle, 0, 0, 1)",
+		"SELECT * FROM",
+		"SELECT * FROM a x WHERE XMATCH(x, x) < 1e309 AND REGION(CIRCLE,1,1,1)",
+		"\x00\xff SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatal("Parse returned nil query and nil error")
+		}
+		if err != nil && q != nil {
+			t.Fatalf("Parse returned both a query and error %v", err)
+		}
+	})
+}

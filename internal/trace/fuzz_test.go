@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzTraceStitch decodes arbitrary wire-span JSON — the payload a
+// federation peer returns — and stitches it onto a local trace, as
+// federation.Client does after a remote hop. Hostile or corrupt span
+// offsets (negative, enormous, inverted Start/End) must rebase and
+// archive without panicking, and the stitched trace must still finish
+// and export.
+func FuzzTraceStitch(f *testing.F) {
+	f.Add(`[{"Stage":"xmatch-remote","StartNs":1000,"EndNs":2500,"N":4}]`, "archive-b", int64(5_000))
+	f.Add(`[{"Stage":"scan","StartNs":-9223372036854775808,"EndNs":9223372036854775807}]`, "", int64(-1))
+	f.Add(`[{"Stage":"probe","StartNs":50,"EndNs":10,"Score":1e308},{"Stage":"","Err":"boom"}]`, "n", int64(0))
+	f.Add(`[]`, "idle", int64(42))
+	f.Fuzz(func(t *testing.T, raw string, node string, baseNs int64) {
+		var spans []WireSpan
+		if err := json.Unmarshal([]byte(raw), &spans); err != nil {
+			return
+		}
+		r := New(Config{Sample: 1})
+		tr := r.Start("fuzz", 1)
+		if tr == nil {
+			t.Fatal("Start returned nil trace with Sample 1")
+		}
+		tr.Stitch(node, tr.StartTime().Add(time.Duration(baseNs)), spans)
+		want := len(spans)
+		if want > MaxSpans {
+			want = MaxSpans // past the cap, Add counts drops instead
+		}
+		if got := len(tr.Wire()); got != want {
+			t.Fatalf("trace exports %d spans after stitching %d (cap %d)", got, len(spans), MaxSpans)
+		}
+		r.Finish(tr)
+		if _, ok := r.Get(tr.ID()); !ok {
+			t.Fatal("stitched trace was not archived")
+		}
+	})
+}

@@ -118,6 +118,8 @@ func verify(out []Pair, local catalog.Object, w WorkloadObject, pred Predicate) 
 // Complexity is O(n + m + candidates): the sweep maintains the set of
 // workload intervals overlapping the current bucket object's ID, which
 // stays tiny because error radii are arcseconds.
+//
+//lifevet:allow hotpath-alloc -- pair materialization runs only when Config.MaterializeResults is on; the zero-alloc probe pins the loop with materialization off
 func MergeJoin(bucket []catalog.Object, queue []WorkloadObject, preds map[uint64]Predicate) []Pair {
 	if len(bucket) == 0 || len(queue) == 0 {
 		return nil
@@ -160,6 +162,8 @@ func MergeJoin(bucket []catalog.Object, queue []WorkloadObject, preds map[uint64
 // ID range and candidates are verified. This models an indexed join
 // against the database's HTM index; the engine charges one sorted index
 // probe per workload object.
+//
+//lifevet:allow hotpath-alloc -- pair materialization runs only when Config.MaterializeResults is on; the zero-alloc probe pins the loop with materialization off
 func IndexJoin(bucket []catalog.Object, queue []WorkloadObject, preds map[uint64]Predicate) []Pair {
 	if len(bucket) == 0 || len(queue) == 0 {
 		return nil
