@@ -13,10 +13,10 @@
 //     /debug/pprof/cmdline and friends).
 //
 // It also keeps docs/ANALYZERS.md in lockstep with the static-analysis
-// suite: every analyzer lifevet registers (plus the stale-directive
-// meta-check) must have a `## `name“ section there, so adding an
-// analyzer without documenting its invariant and suppression story
-// breaks the build.
+// suite: every analyzer lifevet registers (plus the stale-directive and
+// stale-baseline meta-checks) must have a `## `name“ section there, so
+// adding an analyzer without documenting its invariant and suppression
+// story breaks the build.
 //
 // Any undocumented flag or metric fails the run with a list of the
 // offenders and where they were registered, so adding a flag or a
@@ -143,7 +143,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("reading the analyzer manual: %w (run from the repository root)", err)
 	}
-	checks := []string{lifevet.StaleDirectiveCheck}
+	checks := []string{lifevet.StaleDirectiveCheck, lifevet.StaleBaselineCheck}
 	for _, a := range lifevet.Analyzers() {
 		checks = append(checks, a.Name)
 	}

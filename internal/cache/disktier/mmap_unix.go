@@ -18,6 +18,7 @@ func mapFile(f *os.File, size int64) ([]byte, error) {
 
 func unmapFile(m []byte) {
 	if m != nil {
+		//lifevet:allow errdrop -- Munmap failure leaves the pages mapped (a leak, not corruption) and there is no caller that could act on it
 		_ = syscall.Munmap(m)
 	}
 }

@@ -62,12 +62,35 @@ func SkyQuery() Model {
 	}
 }
 
+// maxCost caps any single modelled cost: a cost model must slow the
+// simulation down, never wrap int64 nanoseconds into a negative credit.
+const maxCost = time.Duration(1<<63 - 1)
+
+// scale returns n * unit saturating at maxCost instead of overflowing:
+// the clamp happens in the count domain, before the multiply, so a
+// pathological request (or a miscalibrated model) charges "forever",
+// not a negative duration that would run the simulated clock backwards.
+func scale(n int64, unit time.Duration) time.Duration {
+	if n <= 0 || unit <= 0 {
+		return 0
+	}
+	if n > int64(maxCost/unit) {
+		return maxCost
+	}
+	return time.Duration(n) * unit
+}
+
 // transfer returns the time to move n bytes at the sequential rate.
 func (m Model) transfer(n int64) time.Duration {
 	if n <= 0 {
 		return 0
 	}
 	sec := float64(n) / (m.SeqMBps * 1e6)
+	// A zero or garbage rate makes sec ±Inf/NaN; both fail the < test
+	// and saturate rather than converting to a platform-defined int64.
+	if !(sec < maxCost.Seconds()) {
+		return maxCost
+	}
 	return time.Duration(sec * float64(time.Second))
 }
 
@@ -95,7 +118,7 @@ func (m Model) SortedProbe() time.Duration {
 
 // Match returns the in-memory cost of cross-matching n objects (n * Tm).
 func (m Model) Match(n int) time.Duration {
-	return time.Duration(n) * m.MatchCost
+	return scale(int64(n), m.MatchCost)
 }
 
 // Calibrate empirically derives the paper's constants from the model, the
@@ -168,7 +191,7 @@ func (d *Disk) ReadSequential(n int64) time.Duration {
 
 // ReadProbes charges the cost of n sorted index probes.
 func (d *Disk) ReadProbes(n int) time.Duration {
-	c := time.Duration(n) * d.model.SortedProbe()
+	c := scale(int64(n), d.model.SortedProbe())
 	d.charge(c)
 	d.mu.Lock()
 	d.stats.Probes += int64(n)
@@ -202,7 +225,7 @@ func (d *Disk) AccountProbes(n int, elapsed time.Duration) {
 // access pattern of SkyQuery's pre-LifeRaft, index-only cross-match, where
 // repeated unsorted index traversals touch scattered pages.
 func (d *Disk) ReadRandom(n int) time.Duration {
-	c := time.Duration(n) * d.model.RandomRead()
+	c := scale(int64(n), d.model.RandomRead())
 	d.charge(c)
 	d.mu.Lock()
 	d.stats.RandomReads += int64(n)

@@ -51,6 +51,34 @@ func TestCostMonotonicity(t *testing.T) {
 	}
 }
 
+// TestCostSaturatesInsteadOfWrapping: pathological counts used to
+// overflow the int64-nanosecond multiply into a negative cost, running
+// the simulated clock backwards (a negative credit). Every modelled cost
+// must saturate at maxCost and stay non-negative.
+func TestCostSaturatesInsteadOfWrapping(t *testing.T) {
+	m := SkyQuery()
+	huge := int(math.MaxInt64 / int64(time.Microsecond)) // n*MatchCost wraps
+	if got := m.Match(huge); got != maxCost {
+		t.Errorf("Match(huge) = %v, want saturated maxCost", got)
+	}
+	if got := m.Match(huge); got < 0 {
+		t.Errorf("Match(huge) = %v, negative cost", got)
+	}
+	// A zero transfer rate makes the float blow up to +Inf: saturate,
+	// don't convert Inf to a platform-defined int64.
+	broken := m
+	broken.SeqMBps = 0
+	if got := broken.transfer(1 << 20); got != maxCost {
+		t.Errorf("transfer with zero rate = %v, want saturated maxCost", got)
+	}
+	if got := m.transfer(math.MaxInt64); got != maxCost || got < 0 {
+		t.Errorf("transfer(MaxInt64) = %v, want saturated maxCost", got)
+	}
+	if got := scale(-1, time.Second); got != 0 {
+		t.Errorf("scale(-1) = %v, want 0", got)
+	}
+}
+
 func TestDiskChargesVirtualClock(t *testing.T) {
 	clk := simclock.NewVirtual()
 	d := New(SkyQuery(), clk)

@@ -271,10 +271,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 // after draining, then releases the store (a file-backed node's segment
 // handles).
 func (n *Node) Close() error {
+	var err error
 	if n.serving != nil {
-		n.serving.Close()
+		err = n.serving.Close()
 	}
-	err := n.engine.Close()
+	if cerr := n.engine.Close(); err == nil {
+		err = cerr
+	}
 	if cerr := n.store.Close(); err == nil {
 		err = cerr
 	}
@@ -317,6 +320,8 @@ func (n *Node) Extract(req ExtractRequest) (ExtractResponse, error) {
 
 // Match implements the cross-match step: the shipped objects become a
 // LifeRaft job; the node's engine batches it with other in-flight queries.
+//
+//lifevet:allow ctxflow -- compat shim for the ctx-less Transport API: the fresh root is the documented semantic ("no deadline"); deadline-carrying callers use MatchCtx
 func (n *Node) Match(req MatchRequest) (MatchResponse, error) {
 	return n.MatchCtx(context.Background(), req)
 }
@@ -502,6 +507,8 @@ type ContextTransport interface {
 // archive, shipping intermediate results site to site (paper §3:
 // "intermediate join results are shipped from database to database until
 // all archives are cross-matched").
+//
+//lifevet:allow ctxflow -- compat shim for the ctx-less portal API: the fresh root is the documented semantic ("no deadline"); deadline-carrying callers use ExecuteCtx
 func (p *Portal) Execute(q Query) (*ResultSet, error) {
 	return p.ExecuteCtx(context.Background(), q)
 }

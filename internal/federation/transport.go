@@ -194,7 +194,13 @@ func (s *Server) handle(conn net.Conn) {
 				resp.Err = "federation: match request missing payload"
 				break
 			}
-			r, err := s.node.Match(*req.Match)
+			// Bound the engine-side work like the peer's patience: a match
+			// still running after the read-idle window would only find a
+			// torn connection to reply to, so withdraw it from the engine's
+			// queues instead of wedging this handler goroutine forever.
+			ctx, cancel := context.WithTimeout(context.Background(), s.opts.readIdle)
+			r, err := s.node.MatchCtx(ctx, *req.Match)
+			cancel()
 			if err != nil {
 				resp.Err = err.Error()
 			} else {
@@ -284,6 +290,7 @@ func (c *Client) connect(deadline time.Time) error {
 	return nil
 }
 
+//lifevet:allow ctxflow -- compat shim: the ctx-less entry point's documented root; every deadline-carrying path calls roundTripCtx directly
 func (c *Client) roundTrip(req rpcRequest) (rpcResponse, error) {
 	return c.roundTripCtx(context.Background(), req)
 }
@@ -403,6 +410,8 @@ func (c *Client) Extract(req ExtractRequest) (ExtractResponse, error) {
 }
 
 // Match implements Transport.
+//
+//lifevet:allow ctxflow -- compat shim for the ctx-less Transport API: the fresh root is the documented semantic ("no deadline"); deadline-carrying callers use MatchCtx
 func (c *Client) Match(req MatchRequest) (MatchResponse, error) {
 	return c.MatchCtx(context.Background(), req)
 }

@@ -1,0 +1,156 @@
+package lifevet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline pins the findings a repository has accepted: each entry is a
+// (check, file, message) class that passes the gate without an inline
+// directive. The ratchet only turns one way — a finding not pinned here
+// fails the run, and a pinned finding that no longer occurs fails as
+// stale (StaleBaselineCheck), so the file can shrink but never silently
+// grow or rot.
+//
+// Entries match on the check name, the module-relative file path
+// (forward slashes), and the exact diagnostic message — but not line or
+// column, so unrelated edits that shift a pinned finding around its
+// file do not churn the baseline. The corollary is that an entry pins a
+// finding *class* within one file: a second identical diagnostic in the
+// same file rides the same entry. Findings that deserve per-site
+// scrutiny belong in //lifevet:allow directives, which are positional;
+// the baseline is for bounded-by-construction sites where the class is
+// the decision.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Check string `json:"check"`
+	// File is the module-relative path, forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Why records the acceptance rationale; it is documentation only and
+	// never matched against.
+	Why string `json:"why,omitempty"`
+}
+
+// StaleBaselineCheck names the meta-check reporting baseline entries
+// that matched no diagnostic. Like stale directives, a stale baseline
+// entry fails the run: either the finding is gone (delete the entry)
+// or the entry never matched (fix it).
+const StaleBaselineCheck = "stale-baseline"
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lifevet: parsing baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes b, entries sorted for stable diffs.
+func WriteBaseline(path string, b *Baseline) error {
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline removes diagnostics pinned by b from res (counting them
+// in res.Baselined) and appends a StaleBaselineCheck diagnostic for
+// every entry that matched nothing. Meta-check diagnostics
+// (stale-directive, stale-baseline) are never baselined — the
+// bookkeeping itself cannot be grandfathered.
+func ApplyBaseline(res *Result, b *Baseline, moduleDir string) {
+	absDir, err := filepath.Abs(moduleDir)
+	if err != nil {
+		absDir = moduleDir
+	}
+	matched := make([]bool, len(b.Findings))
+	kept := res.Diagnostics[:0]
+	for _, d := range res.Diagnostics {
+		if d.Check == StaleDirectiveCheck || d.Check == StaleBaselineCheck {
+			kept = append(kept, d)
+			continue
+		}
+		rel := baselineRel(absDir, d.File)
+		hit := false
+		for i, e := range b.Findings {
+			if e.Check == d.Check && e.File == rel && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			res.Baselined++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range b.Findings {
+		if !matched[i] {
+			kept = append(kept, Diagnostic{
+				Check: StaleBaselineCheck,
+				File:  e.File, Line: 0, Col: 0,
+				Message: fmt.Sprintf("baseline pins a %s finding (%q) that no longer occurs — delete the entry so the ratchet stays tight", e.Check, e.Message),
+			})
+		}
+	}
+	res.Diagnostics = kept
+	sortDiagnostics(res.Diagnostics)
+}
+
+// BaselineFrom builds a baseline pinning every current non-meta
+// diagnostic, deduplicated by (check, file, message).
+func BaselineFrom(res Result, moduleDir string) *Baseline {
+	absDir, err := filepath.Abs(moduleDir)
+	if err != nil {
+		absDir = moduleDir
+	}
+	b := &Baseline{Findings: []BaselineEntry{}}
+	seen := make(map[BaselineEntry]bool)
+	for _, d := range res.Diagnostics {
+		if d.Check == StaleDirectiveCheck || d.Check == StaleBaselineCheck {
+			continue
+		}
+		e := BaselineEntry{Check: d.Check, File: baselineRel(absDir, d.File), Message: d.Message}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.Findings = append(b.Findings, e)
+	}
+	return b
+}
+
+// baselineRel converts an absolute diagnostic path to the module-relative
+// slash form the baseline stores; paths outside the module stay as-is.
+func baselineRel(absDir, file string) string {
+	rel, err := filepath.Rel(absDir, file)
+	if err != nil || rel == "" || rel[0] == '.' {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,160 @@
+package lifevet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxflow enforces context discipline on the serving path. Two
+// rules:
+//
+//  1. Serving-path code must not mint a fresh root context: a
+//     context.Background() (or TODO()) call inside internal/server,
+//     internal/federation, or internal/core silently discards the
+//     caller's deadline and cancellation — the query keeps running
+//     after the client gave up. Minting is allowed only as the direct
+//     parent argument of WithTimeout/WithDeadline/WithCancel (a root
+//     with an immediately attached bound is a deliberate lifetime, not
+//     a dropped one).
+//
+//  2. A function that accepts a context.Context must consult it: a
+//     named ctx parameter that is never used in a body that performs
+//     blocking work (channel traffic, I/O, or calls that block) means
+//     the deadline dies at this frame while the function waits.
+//     Renaming the parameter `_` is the explicit opt-out and is not
+//     flagged — the signature then documents that the context is
+//     ignored.
+//
+// Both rules are syntactic over the typed AST plus the transitive
+// blocking summary; they do not trace a context value through locals.
+var AnalyzerCtxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "serving-path code must not mint root contexts or drop a ctx parameter before blocking",
+	Run:  runCtxflow,
+}
+
+// ctxflowScopes are the serving-path packages: everything between the
+// gateway's request context and the engine's cancellation machinery.
+var ctxflowScopes = []string{"internal/server", "internal/federation", "internal/core"}
+
+func runCtxflow(m *Module, r *Reporter) {
+	ix := buildFuncIndex(m)
+	io := buildIOSummary(ix)
+	for _, pkg := range m.PackagesInScope(ctxflowScopes...) {
+		for _, f := range pkg.Files {
+			checkRootContexts(pkg, f, r)
+		}
+	}
+	for fn, d := range ix.decls {
+		if !PathInScope(d.pkg.ImportPath, ctxflowScopes...) {
+			continue
+		}
+		checkDroppedCtx(d, fn, io, r)
+	}
+}
+
+// checkRootContexts flags context.Background()/TODO() calls except when
+// immediately bounded by WithTimeout/WithDeadline/WithCancel.
+func checkRootContexts(pkg *Package, f *ast.File, r *Reporter) {
+	// Collect the root-context calls that appear as the parent argument
+	// of a bounding constructor; those are exempt.
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := staticCallee(pkg.Info, call)
+		if !isPkgFunc(fn, "context", "WithTimeout", "WithDeadline", "WithCancel") {
+			return true
+		}
+		if parent, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+			exempt[parent] = true
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pkg.Info, call)
+		if !isPkgFunc(fn, "context", "Background", "TODO") {
+			return true
+		}
+		if exempt[call] {
+			return true
+		}
+		r.Reportf(call.Pos(), "context.%s mints a root context on the serving path, discarding any caller deadline or cancellation; thread the caller's ctx through (or bound the root immediately with context.WithTimeout/WithCancel)", fn.Name())
+		return true
+	})
+}
+
+// checkDroppedCtx flags a named, unused context parameter on a function
+// whose body blocks.
+func checkDroppedCtx(d *funcDecl, fn *types.Func, io *ioSummary, r *Reporter) {
+	params := contextParams(d.pkg, d.decl)
+	if len(params) == 0 {
+		return
+	}
+	used := make(map[*types.Var]bool)
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := d.pkg.Info.Uses[id].(*types.Var); ok {
+			used[v] = true
+		}
+		return true
+	})
+	for _, p := range params {
+		if used[p] {
+			continue
+		}
+		op, blocks := blockingOpIn(d, io)
+		if !blocks {
+			continue
+		}
+		r.Reportf(d.decl.Name.Pos(), "%s accepts ctx but never consults it, and its body blocks (%s); the caller's deadline dies at this frame — plumb ctx into the blocking call or rename the parameter _ to document the drop", funcDisplay(fn), op)
+	}
+}
+
+// blockingOpIn reports a sample blocking operation in d's body: a
+// direct I/O call, channel traffic, or a call whose transitive summary
+// blocks.
+func blockingOpIn(d *funcDecl, io *ioSummary) (string, bool) {
+	desc := ""
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			desc = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				desc = "channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				desc = "blocking select"
+			}
+		case *ast.CallExpr:
+			if s, ok := directCallIO(d.pkg.Info, n); ok {
+				desc = s
+				return false
+			}
+			if callee := origin(staticCallee(d.pkg.Info, n)); callee != nil {
+				if op, ok := io.does[callee]; ok {
+					desc = op.desc + " via " + funcDisplay(callee)
+					return false
+				}
+			}
+		}
+		return desc == ""
+	})
+	return desc, desc != ""
+}

@@ -1,0 +1,202 @@
+package lifevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoroleak requires every goroutine launched in the serving and
+// engine packages to have a provable termination path. A `go` statement
+// whose body — transitively, through every statically resolved module
+// call — contains an unconditional `for { ... }` loop with no reachable
+// exit (no `return`, no `break` targeting that loop, no panic, and no
+// termination-signal construct in a select case) runs forever: it
+// outlives Close, pins its captured state, and on a server that starts
+// one per connection or per shard it is a goroutine leak that grows
+// with traffic.
+//
+// What counts as an exit from an unconditional loop:
+//
+//   - `return` or `panic` anywhere in the loop body (outside nested
+//     function literals);
+//   - `break` that targets the loop itself — an unlabeled break inside
+//     a nested for/switch/select targets the inner statement and does
+//     NOT count (the classic `case <-done: break` bug is reported, not
+//     excused);
+//   - `range ch` loops are conditional by construction (channel close
+//     ends them), as are loops with a condition expression.
+//
+// Goroutine bodies that terminate by falling off the end (no infinite
+// loop anywhere) are fine without any signal: bounded work needs no
+// shutdown path.
+var AnalyzerGoroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines in serving/engine packages must have a provable termination path",
+	Run:  runGoroleak,
+}
+
+// goroleakScopes are the packages whose goroutines must be
+// lifecycle-managed: the engine, the serving layer, the federation
+// transport, and the cache tiers all start goroutines per query, per
+// connection, or per promotion.
+var goroleakScopes = []string{"internal/core", "internal/server", "internal/federation", "internal/cache"}
+
+func runGoroleak(m *Module, r *Reporter) {
+	ix := buildFuncIndex(m)
+	for _, pkg := range m.PackagesInScope(goroleakScopes...) {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				c := &leakChecker{ix: ix, visited: make(map[*types.Func]bool)}
+				var bad *ast.ForStmt
+				var where string
+				switch fun := ast.Unparen(g.Call.Fun).(type) {
+				case *ast.FuncLit:
+					bad, where = c.findEndlessLoop(pkg, fun.Body)
+				default:
+					callee := origin(staticCallee(pkg.Info, g.Call))
+					if callee == nil {
+						return true // dynamic dispatch: no static body to prove
+					}
+					bad, where = c.findEndlessLoopIn(callee)
+				}
+				if bad != nil {
+					pos := g.Pos()
+					loc := pkg.Fset.Position(bad.Pos())
+					r.Reportf(pos, "goroutine has no provable termination path: unconditional for loop at %s:%d%s has no return, loop break, or panic; it outlives Close and leaks (add a ctx/done-channel exit)",
+						loc.Filename, loc.Line, where)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// leakChecker hunts for an endless loop reachable from a goroutine
+// body through static calls.
+type leakChecker struct {
+	ix      *funcIndex
+	visited map[*types.Func]bool
+}
+
+// findEndlessLoopIn checks a named function's body (and its callees).
+func (c *leakChecker) findEndlessLoopIn(fn *types.Func) (*ast.ForStmt, string) {
+	if c.visited[fn] {
+		return nil, ""
+	}
+	c.visited[fn] = true
+	d := c.ix.decls[fn]
+	if d == nil {
+		return nil, ""
+	}
+	loop, _ := c.findEndlessLoop(d.pkg, d.decl.Body)
+	if loop != nil {
+		return loop, " (in " + funcDisplay(fn) + ")"
+	}
+	return nil, ""
+}
+
+// findEndlessLoop scans body for an unconditional for loop with no
+// reachable exit, descending into statically called module functions.
+func (c *leakChecker) findEndlessLoop(pkg *Package, body *ast.BlockStmt) (*ast.ForStmt, string) {
+	var found *ast.ForStmt
+	where := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested goroutine/closure: its own launch site owns it
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExit(n) {
+				found = n
+			}
+			return true
+		case *ast.CallExpr:
+			callee := origin(staticCallee(pkg.Info, n))
+			if callee == nil {
+				return true
+			}
+			if loop, via := c.findEndlessLoopIn(callee); loop != nil {
+				found, where = loop, via
+				return false
+			}
+		}
+		return true
+	})
+	return found, where
+}
+
+// loopHasExit reports whether an unconditional for loop has a reachable
+// exit: return/panic anywhere in its body, or a break that targets this
+// loop (unlabeled and not nested in an inner breakable statement, or
+// labeled with this loop's label).
+func loopHasExit(loop *ast.ForStmt) bool {
+	// Labeled breaks are matched permissively: a labeled break exits
+	// *some* enclosing loop, and if that loop is an outer one, this
+	// loop's iteration ends with it anyway.
+	exit := false
+	var walk func(n ast.Node, breakTargetsLoop bool)
+	walk = func(n ast.Node, breakTargetsLoop bool) {
+		if n == nil || exit {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exit {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				// Inner breakable statement: unlabeled breaks inside it
+				// target it, not our loop.
+				walk(m.Body, false)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, false)
+				return false
+			case *ast.SwitchStmt:
+				if m.Init != nil {
+					walk(m.Init, breakTargetsLoop)
+				}
+				walk(m.Body, false)
+				return false
+			case *ast.TypeSwitchStmt:
+				walk(m.Body, false)
+				return false
+			case *ast.SelectStmt:
+				walk(m.Body, false)
+				return false
+			case *ast.ReturnStmt:
+				exit = true
+				return false
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.BREAK:
+					if breakTargetsLoop || m.Label != nil {
+						exit = true
+						return false
+					}
+				case token.GOTO:
+					// A goto can leave the loop; be permissive.
+					exit = true
+					return false
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					exit = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(loop.Body, true)
+	return exit
+}

@@ -47,7 +47,9 @@ type Analyzer struct {
 	Run func(*Module, *Reporter)
 }
 
-// Analyzers returns the full suite in documentation order.
+// Analyzers returns the full suite in documentation order: the v1
+// syntactic/flow-lite checks followed by the v2 dataflow set built on
+// the def-use core (dataflow.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerWallclock,
@@ -56,6 +58,11 @@ func Analyzers() []*Analyzer {
 		AnalyzerBoundedLabels,
 		AnalyzerFDLeak,
 		AnalyzerLockDiscipline,
+		AnalyzerLockOrder,
+		AnalyzerGoroleak,
+		AnalyzerCtxflow,
+		AnalyzerDurovf,
+		AnalyzerErrdrop,
 	}
 }
 
@@ -81,6 +88,9 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed counts diagnostics silenced by allow directives.
 	Suppressed int
+	// Baselined counts diagnostics absorbed by the findings baseline
+	// (ApplyBaseline).
+	Baselined int
 }
 
 // directivePrefix introduces an allow directive comment. The rest of
@@ -138,8 +148,15 @@ func Run(m *Module, analyzers []*Analyzer) Result {
 		}
 	}
 	res.Diagnostics = append(res.Diagnostics, dirDiags...)
-	sort.Slice(res.Diagnostics, func(i, j int) bool {
-		a, b := res.Diagnostics[i], res.Diagnostics[j]
+	sortDiagnostics(res.Diagnostics)
+	return res
+}
+
+// sortDiagnostics orders diagnostics by position for deterministic
+// output (and stable CI diffs).
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -151,7 +168,6 @@ func Run(m *Module, analyzers []*Analyzer) Result {
 		}
 		return a.Check < b.Check
 	})
-	return res
 }
 
 // suppress finds the first applicable directive for d and counts the

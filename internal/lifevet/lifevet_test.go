@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -186,10 +187,53 @@ func TestDirectivesFixture(t *testing.T) {
 	assertSuppressed(t, res, 4)
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	// An A->B / B->A inversion reports both edges (one transitive,
+	// carrying the callee chain); a consistent order, hand-over-hand on
+	// one class, and release-before-acquire are clean.
+	res := checkFixture(t, "lockorder")
+	assertSuppressed(t, res, 0)
+}
+
+func TestGoroleakFixture(t *testing.T) {
+	// Endless loops with no exit are flagged at the go statement —
+	// including through static callees and the break-targets-the-select
+	// bug; bounded loops, returns, range-over-channel, labeled breaks,
+	// and out-of-scope packages are clean.
+	res := checkFixture(t, "goroleak")
+	assertSuppressed(t, res, 0)
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	// Bare roots on the serving path and dropped ctx params before
+	// blocking are flagged; immediately bounded roots, `_` opt-outs,
+	// consulted contexts, non-blocking bodies, and out-of-scope packages
+	// are clean.
+	res := checkFixture(t, "ctxflow")
+	assertSuppressed(t, res, 0)
+}
+
+func TestDurovfFixture(t *testing.T) {
+	// Unbounded duration scale-ups, float conversions, and narrowing
+	// arithmetic are flagged; constants, mask/modulo bounds, and both
+	// clamp idioms (saturating assign, guard return) are clean.
+	res := checkFixture(t, "durovf")
+	assertSuppressed(t, res, 0)
+}
+
+func TestErrdropFixture(t *testing.T) {
+	// Silent discards in fail-stop packages are flagged; defers
+	// (including deferred cleanup literals), error-propagating cleanup,
+	// err-guarded teardown, never-fail writers, and out-of-scope
+	// packages are clean. One allow directive records a decision.
+	res := checkFixture(t, "errdrop")
+	assertSuppressed(t, res, 1)
+}
+
 func TestAnalyzersRegistered(t *testing.T) {
 	as := Analyzers()
-	if len(as) < 6 {
-		t.Fatalf("Analyzers() returned %d analyzers, want >= 6", len(as))
+	if len(as) < 11 {
+		t.Fatalf("Analyzers() returned %d analyzers, want >= 11", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
@@ -203,5 +247,70 @@ func TestAnalyzersRegistered(t *testing.T) {
 	}
 	if seen[StaleDirectiveCheck] {
 		t.Errorf("%q is reserved for the directive meta-check", StaleDirectiveCheck)
+	}
+	if seen[StaleBaselineCheck] {
+		t.Errorf("%q is reserved for the baseline meta-check", StaleBaselineCheck)
+	}
+	for _, name := range []string{"lockorder", "goroleak", "ctxflow", "durovf", "errdrop"} {
+		if !seen[name] {
+			t.Errorf("v2 analyzer %q not registered", name)
+		}
+	}
+}
+
+// TestSelfCheck runs the suite over its own package and the command
+// tree: the analyzers must hold their own code to the invariants they
+// enforce, with no directives and no baseline.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the real module")
+	}
+	m, err := Load("../..", "./internal/lifevet/...", "./cmd/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := Run(m, Analyzers())
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		// The load set drags in module-internal dependencies of the other
+		// cmd binaries; those are covered by the module-wide run and its
+		// baseline. The self-check only vouches for the tool's own trees.
+		rel, rerr := filepath.Rel(moduleDir, d.File)
+		if rerr != nil {
+			rel = d.File
+		}
+		rel = filepath.ToSlash(rel)
+		if !strings.HasPrefix(rel, "internal/lifevet/") && !strings.HasPrefix(rel, "cmd/") {
+			continue
+		}
+		t.Errorf("self-check finding: %s", d)
+	}
+}
+
+// TestModuleBaselineTight runs the full module exactly as CI does and
+// asserts the committed baseline absorbs everything with no stale
+// entries: the ratchet is tight in both directions.
+func TestModuleBaselineTight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the real module")
+	}
+	m, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := Run(m, Analyzers())
+	b, err := LoadBaseline("../../lifevet-baseline.json")
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	ApplyBaseline(&res, b, "../..")
+	for _, d := range res.Diagnostics {
+		t.Errorf("module finding survived the baseline: %s", d)
+	}
+	if res.Baselined == 0 {
+		t.Error("baseline absorbed nothing — the committed file should pin at least one finding class")
 	}
 }

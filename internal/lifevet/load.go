@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -100,17 +101,33 @@ func (l *exportLookup) open(path string) (io.ReadCloser, error) {
 
 // moduleImporter prefers packages already type-checked from source (so
 // intra-module imports share type identity) and falls back to export
-// data for everything else.
+// data for everything else. Import is called concurrently by the
+// level-parallel type-check: the source map is guarded by mu, and the
+// gc export-data importer — which is not safe for concurrent use — is
+// serialized behind gcMu.
 type moduleImporter struct {
+	mu     sync.RWMutex
 	source map[string]*types.Package
+	gcMu   sync.Mutex
 	gc     types.Importer
 }
 
 func (im *moduleImporter) Import(path string) (*types.Package, error) {
-	if p, ok := im.source[path]; ok {
+	im.mu.RLock()
+	p, ok := im.source[path]
+	im.mu.RUnlock()
+	if ok {
 		return p, nil
 	}
+	im.gcMu.Lock()
+	defer im.gcMu.Unlock()
 	return im.gc.Import(path)
+}
+
+func (im *moduleImporter) add(path string, p *types.Package) {
+	im.mu.Lock()
+	im.source[path] = p
+	im.mu.Unlock()
 }
 
 // Load builds, lists, parses, and type-checks the main-module packages
@@ -160,7 +177,7 @@ func Load(dir string, patterns ...string) (*Module, error) {
 	}
 
 	m := &Module{Dir: dir, Fset: token.NewFileSet(), byPath: make(map[string]*Package)}
-	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var mod []*listPackage
 	for _, lp := range listed {
 		if lp.Standard || lp.Module == nil || !lp.Module.Main {
 			continue
@@ -171,40 +188,123 @@ func Load(dir string, patterns ...string) (*Module, error) {
 		if m.Path == "" {
 			m.Path = lp.Module.Path
 		}
-		var files []*ast.File
-		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(m.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, fmt.Errorf("lifevet: parsing %s: %v", name, err)
-			}
-			files = append(files, f)
-		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Implicits:  make(map[ast.Node]types.Object),
-		}
-		conf := types.Config{Importer: imp, Sizes: sizes}
-		tpkg, err := conf.Check(lp.ImportPath, m.Fset, files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lifevet: type-checking %s: %v", lp.ImportPath, err)
-		}
-		pkg := &Package{
-			ImportPath: lp.ImportPath,
-			Dir:        lp.Dir,
-			Fset:       m.Fset,
-			Files:      files,
-			Types:      tpkg,
-			Info:       info,
-		}
-		imp.source[lp.ImportPath] = tpkg
-		m.Packages = append(m.Packages, pkg)
-		m.byPath[lp.ImportPath] = pkg
+		mod = append(mod, lp)
 	}
-	if len(m.Packages) == 0 {
+	if len(mod) == 0 {
 		return nil, fmt.Errorf("lifevet: patterns %v matched no main-module packages under %s", patterns, dir)
+	}
+
+	// Parse every module package in parallel. token.FileSet serializes
+	// AddFile internally, so one shared fset across parser goroutines is
+	// safe; the per-package file slices keep their own order.
+	parsed := make([][]*ast.File, len(mod))
+	parseErrs := make([]error, len(mod))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, lp := range mod {
+		wg.Add(1)
+		go func(i int, lp *listPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			files := make([]*ast.File, 0, len(lp.GoFiles))
+			for _, name := range lp.GoFiles {
+				f, err := parser.ParseFile(m.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					parseErrs[i] = fmt.Errorf("lifevet: parsing %s: %v", name, err)
+					return
+				}
+				files = append(files, f)
+			}
+			parsed[i] = files
+		}(i, lp)
+	}
+	wg.Wait()
+	for _, err := range parseErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in dependency levels: -deps order guarantees imports
+	// precede importers, so packages whose module-internal imports are
+	// all checked form a level and check concurrently. Packages append
+	// to m.Packages in listing order regardless, keeping analyzer output
+	// deterministic.
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	index := make(map[string]int, len(mod))
+	for i, lp := range mod {
+		index[lp.ImportPath] = i
+	}
+	pkgs := make([]*Package, len(mod))
+	done := make([]bool, len(mod))
+	for remaining := len(mod); remaining > 0; {
+		var level []int
+		for i, lp := range mod {
+			if done[i] || pkgs[i] != nil {
+				continue
+			}
+			ready := true
+			for _, imp := range lp.Imports {
+				if j, inMod := index[imp]; inMod && !done[j] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				level = append(level, i)
+			}
+		}
+		if len(level) == 0 {
+			return nil, fmt.Errorf("lifevet: import cycle among module packages (go list should have rejected this)")
+		}
+		checkErrs := make([]error, len(level))
+		var cwg sync.WaitGroup
+		for li, i := range level {
+			cwg.Add(1)
+			go func(li, i int) {
+				defer cwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				lp := mod[i]
+				info := &types.Info{
+					Types:      make(map[ast.Expr]types.TypeAndValue),
+					Defs:       make(map[*ast.Ident]types.Object),
+					Uses:       make(map[*ast.Ident]types.Object),
+					Selections: make(map[*ast.SelectorExpr]*types.Selection),
+					Implicits:  make(map[ast.Node]types.Object),
+				}
+				conf := types.Config{Importer: imp, Sizes: sizes}
+				tpkg, err := conf.Check(lp.ImportPath, m.Fset, parsed[i], info)
+				if err != nil {
+					checkErrs[li] = fmt.Errorf("lifevet: type-checking %s: %v", lp.ImportPath, err)
+					return
+				}
+				pkgs[i] = &Package{
+					ImportPath: lp.ImportPath,
+					Dir:        lp.Dir,
+					Fset:       m.Fset,
+					Files:      parsed[i],
+					Types:      tpkg,
+					Info:       info,
+				}
+				imp.add(lp.ImportPath, tpkg)
+			}(li, i)
+		}
+		cwg.Wait()
+		for _, err := range checkErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, i := range level {
+			done[i] = true
+			remaining--
+		}
+	}
+	for _, pkg := range pkgs {
+		m.Packages = append(m.Packages, pkg)
+		m.byPath[pkg.ImportPath] = pkg
 	}
 	return m, nil
 }

@@ -234,9 +234,51 @@ func runLockDiscipline(m *Module, r *Reporter) {
 	ix := buildFuncIndex(m)
 	io := buildIOSummary(ix)
 	for _, d := range ix.decls {
-		w := &lockWalker{d: d, io: io, r: r}
+		w := &lockWalker{d: d, io: io, r: r, du: buildDefUse(d.pkg, d.decl.Body)}
 		w.walkStmts(d.decl.Body.List, map[string]token.Pos{})
 	}
+}
+
+// freshChanSend reports whether a send provably cannot block: the
+// channel resolves (through the def-use core) to a `make(chan T, n)`
+// with constant n >= 1 created in this function, at most n sends on
+// that variable appear lexically at or before this one, and the
+// channel has not been passed to another function as a call argument
+// before this send (a second sender elsewhere could fill the buffer).
+// Sends and escapes lexically after this send cannot have filled the
+// buffer yet — a result channel handed to a merge goroutine launched
+// later is still fresh here. Returning the channel is fine — callers
+// receive.
+func (w *lockWalker) freshChanSend(send *ast.SendStmt) bool {
+	capN, ok := w.du.freshChanCap(send.Chan)
+	if !ok {
+		return false
+	}
+	v := w.du.singleVar(send.Chan)
+	if v == nil {
+		return false
+	}
+	sends := int64(0)
+	passed := false
+	ast.Inspect(w.d.decl.Body, func(n ast.Node) bool {
+		if n != nil && n.Pos() > send.Pos() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if w.du.singleVar(n.Chan) == v {
+				sends++
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if w.du.singleVar(arg) == v {
+					passed = true
+				}
+			}
+		}
+		return true
+	})
+	return sends <= capN && !passed
 }
 
 // lockWalker walks one function's statements in execution order,
@@ -247,6 +289,7 @@ type lockWalker struct {
 	d  *funcDecl
 	io *ioSummary
 	r  *Reporter
+	du *defUse
 }
 
 func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
@@ -369,7 +412,7 @@ func (w *lockWalker) scan(n ast.Node, held map[string]token.Pos, nonBlocking boo
 				w.report(m.Pos(), op.desc+" via "+funcDisplay(fn), held)
 			}
 		case *ast.SendStmt:
-			if !nonBlocking && len(held) > 0 {
+			if !nonBlocking && len(held) > 0 && !w.freshChanSend(m) {
 				w.report(m.Pos(), "channel send", held)
 			}
 		case *ast.UnaryExpr:

@@ -1,0 +1,57 @@
+// Fixture for ctxflow: bare root contexts on the serving path are
+// flagged unless immediately bounded; a named ctx parameter that is
+// never consulted in a blocking body is flagged at the function name,
+// with `_` as the documented opt-out.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// mint creates a bare root on the serving path.
+func mint() context.Context {
+	return context.Background() // want ctxflow "mints a root context"
+}
+
+// mintTODO is the same drop with TODO.
+func mintTODO() context.Context {
+	return context.TODO() // want ctxflow "mints a root context"
+}
+
+// bounded attaches a deadline immediately: a deliberate lifetime, not a
+// dropped one.
+func bounded() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), time.Second)
+}
+
+// drops accepts ctx, ignores it, and blocks on a channel: the caller's
+// deadline dies at this frame.
+func drops(ctx context.Context, ch chan int) int { // want ctxflow "never consults"
+	return <-ch
+}
+
+// dropsSend is the send-side version.
+func dropsSend(ctx context.Context, ch chan int) { // want ctxflow "never consults"
+	ch <- 1
+}
+
+// optOut renames the parameter _: the signature documents the drop.
+func optOut(_ context.Context, ch chan int) int {
+	return <-ch
+}
+
+// uses consults ctx.
+func uses(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+// pure never blocks: an unused ctx is harmless.
+func pure(ctx context.Context, a, b int) int {
+	return a + b
+}

@@ -1,0 +1,9 @@
+// Out-of-scope package: ctxflow only patrols the serving path, so a
+// root context here is not flagged.
+package pkg
+
+import "context"
+
+func background() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,81 @@
+// Fixture for durovf: unbounded scale-ups, float conversions, and
+// narrowing arithmetic are flagged module-wide; constants, mask/modulo
+// bounds, and the two clamp idioms (saturating assign, guard return)
+// are clean.
+package pkg
+
+import "time"
+
+// scaleBad launders an unbounded count into a Duration.
+func scaleBad(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond // want durovf "overflow int64 nanoseconds"
+}
+
+// scaleBadReversed flags regardless of operand order.
+func scaleBadReversed(ms int64) time.Duration {
+	return time.Millisecond * time.Duration(ms) // want durovf "overflow int64 nanoseconds"
+}
+
+// scaleClamped saturates in the scalar domain first: clean.
+func scaleClamped(ms int64) time.Duration {
+	if ms > 1000 {
+		ms = 1000
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// scaleGuarded returns early on out-of-range input: clean.
+func scaleGuarded(ms int64) time.Duration {
+	if ms >= 1000 {
+		return time.Second
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// scaleMod is provably bounded by the modulo.
+func scaleMod(ms int64) time.Duration {
+	return time.Duration(ms%1000) * time.Millisecond
+}
+
+// scaleConst is compile-time constant.
+func scaleConst() time.Duration {
+	return time.Duration(250) * time.Millisecond
+}
+
+// floatBad converts an unbounded float product.
+func floatBad(sec float64) time.Duration {
+	return time.Duration(sec * 1e9) // want durovf "float product/quotient"
+}
+
+// floatQuoBad converts an unbounded quotient (tiny rate blows it up).
+func floatQuoBad(n, rate float64) time.Duration {
+	return time.Duration(n / rate) // want durovf "float product/quotient"
+}
+
+// floatClamped bounds the float first (the tokenBucket.wait shape).
+func floatClamped(sec float64) time.Duration {
+	if !(sec < 1000) {
+		return time.Second
+	}
+	return time.Duration(sec * 1e9)
+}
+
+// narrowBad truncates 64-bit arithmetic to 32 bits.
+func narrowBad(n int64) int32 {
+	return int32(n * 3) // want durovf "truncates"
+}
+
+// narrowPlain converts a plain variable: bounds are usually structural.
+func narrowPlain(n int64) int32 {
+	return int32(n)
+}
+
+// narrowMasked is explicitly bounded.
+func narrowMasked(n int64) int32 {
+	return int32(n & 0xffff)
+}
+
+// narrowSameWidth starts from 32-bit operands: no silent width loss.
+func narrowSameWidth(a, b int32) int32 {
+	return int32(a + b)
+}

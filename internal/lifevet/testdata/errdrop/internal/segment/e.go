@@ -1,0 +1,67 @@
+// Fixture for errdrop: silent discards in a fail-stop package are
+// flagged; deferred closes, cleanup before an error-propagating return,
+// err-guarded teardown, never-fail writers, and //lifevet:allow are
+// clean.
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"os"
+)
+
+// drop discards a Close error on the success path.
+func drop(f *os.File) {
+	f.Close() // want errdrop "call statement discards"
+}
+
+// blank discards through the blank identifier.
+func blank(f *os.File) {
+	_ = f.Close() // want errdrop "blank assignment discards"
+}
+
+// blankMulti discards only the error position of a multi-value call.
+func blankMulti(f *os.File, b []byte) int {
+	n, _ := f.Write(b) // want errdrop "blank assignment discards"
+	return n
+}
+
+// deferred is the accepted read-path idiom.
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+// deferredLit is the accepted cleanup-literal idiom.
+func deferredLit(f *os.File, tmp string) {
+	defer func() {
+		f.Close()
+		os.Remove(tmp)
+	}()
+}
+
+// propagating cleans up while the real error travels: exempt.
+func propagating(f *os.File, tmp string) error {
+	f.Close()
+	os.Remove(tmp)
+	return errors.New("write failed")
+}
+
+// guarded tears down inside an err != nil block: exempt.
+func guarded(f *os.File, b []byte) int {
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return -1
+	}
+	return 0
+}
+
+// neverFail writers have vestigial error results.
+func neverFail(buf *bytes.Buffer) {
+	buf.WriteString("x")
+}
+
+// allowed records a deliberate best-effort decision.
+func allowed(path string) {
+	//lifevet:allow errdrop -- best-effort unlink on a path the caller already abandoned
+	os.Remove(path)
+}

@@ -1,0 +1,9 @@
+// Out-of-scope package: errdrop only patrols the fail-stop storage and
+// transport packages, so this discard is not flagged.
+package pkg
+
+import "os"
+
+func drop(f *os.File) {
+	f.Close()
+}

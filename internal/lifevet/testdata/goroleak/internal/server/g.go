@@ -1,0 +1,87 @@
+// Fixture for goroleak: endless loops with no exit path are flagged at
+// the go statement (including through static callees, and including the
+// break-targets-the-select bug); bounded loops, returns, range-over-
+// channel, and labeled breaks are clean.
+package server
+
+func work() {}
+
+// leakySpin launches a goroutine spinning forever.
+func leakySpin() {
+	go func() { // want goroleak "no provable termination"
+		for {
+			work()
+		}
+	}()
+}
+
+// leakyNamed reaches the endless loop through a static callee.
+func leakyNamed() {
+	go pump() // want goroleak "no provable termination"
+}
+
+func pump() {
+	for {
+		work()
+	}
+}
+
+// leakyNestedBreak: the unlabeled break targets the select, not the
+// loop — the classic shutdown bug is reported, not excused.
+func leakyNestedBreak(done chan struct{}) {
+	go func() { // want goroleak "no provable termination"
+		for {
+			select {
+			case <-done:
+				break
+			default:
+			}
+		}
+	}()
+}
+
+// bounded falls off the end: bounded work needs no shutdown path.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// exitOnDone returns from inside the loop.
+func exitOnDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// drain ends when the channel closes: range loops are conditional by
+// construction.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// labeledBreak exits the loop via its label.
+func labeledBreak(done chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			default:
+			}
+		}
+	}()
+}

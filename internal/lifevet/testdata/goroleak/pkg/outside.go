@@ -1,0 +1,10 @@
+// Out-of-scope package: goroleak only patrols the serving and engine
+// packages, so this endless goroutine is not flagged.
+package pkg
+
+func spin() {
+	go func() {
+		for {
+		}
+	}()
+}

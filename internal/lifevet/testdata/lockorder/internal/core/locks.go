@@ -1,0 +1,72 @@
+// Fixture for lockorder: the A->B / B->A inversion is a cycle and both
+// edges report; a consistent A->C order, hand-over-hand on one class,
+// and release-before-acquire are clean.
+package core
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+var (
+	ga A
+	gb B
+	gc C
+)
+
+// abPath acquires A then B: one direction of the inversion.
+func abPath() {
+	ga.mu.Lock()
+	gb.mu.Lock() // want lockorder "lock order cycle"
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+// baPath acquires A while holding B — transitively, through lockA, so
+// the edge carries a callee chain.
+func baPath() {
+	gb.mu.Lock()
+	lockA() // want lockorder "through"
+	gb.mu.Unlock()
+}
+
+func lockA() {
+	ga.mu.Lock()
+	ga.mu.Unlock()
+}
+
+// consistentAC and consistentAC2 always take A before C: an edge, but
+// no cycle, so no report.
+func consistentAC() {
+	ga.mu.Lock()
+	gc.mu.Lock()
+	gc.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+func consistentAC2() {
+	ga.mu.Lock()
+	gc.mu.Lock()
+	gc.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+// sameClass is hand-over-hand over two instances of one class: lock
+// identity is per class, so this is not an order edge.
+func sameClass(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// unlockedOrder releases B before taking A: nothing held, no edge.
+func unlockedOrder() {
+	gb.mu.Lock()
+	gb.mu.Unlock()
+	ga.mu.Lock()
+	ga.mu.Unlock()
+}

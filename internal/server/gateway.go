@@ -157,10 +157,15 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	timeout := g.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
-		if timeout > g.cfg.MaxTimeout {
-			timeout = g.cfg.MaxTimeout
+		// Clamp in the millisecond domain before converting: scaling a
+		// caller-controlled count to nanoseconds first overflows int64 for
+		// values past ~2.9e12 ms, yielding a negative timeout that expires
+		// the request instantly instead of capping it.
+		millis := req.TimeoutMillis
+		if maxMillis := int64(g.cfg.MaxTimeout / time.Millisecond); millis > maxMillis {
+			millis = maxMillis
 		}
+		timeout = time.Duration(millis) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()

@@ -183,6 +183,35 @@ func TestGatewayHealthAndStats(t *testing.T) {
 }
 
 // TestGatewayDeadline: the request context carries the gateway timeout.
+// TestGatewayTimeoutOverflowClamped: a huge timeout_ms used to overflow
+// the nanosecond multiplication into a negative Duration, so the request
+// context expired before Exec ran and every such request 504'd. It must
+// behave as "capped at MaxTimeout" instead.
+func TestGatewayTimeoutOverflowClamped(t *testing.T) {
+	deadlines := make(chan time.Duration, 1)
+	ts := testGateway(t, func(ctx context.Context, tenant, query string) (any, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Error("no deadline on exec context")
+		}
+		deadlines <- time.Until(dl)
+		return "ok", nil
+	})
+	// 2^62 ms: time.Duration(v)*time.Millisecond wraps negative.
+	resp, out := postQuery(t, ts, `{"query":"q","timeout_ms":4611686018427387904}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v (overflowed timeout expired the request?)", resp.StatusCode, out)
+	}
+	left := <-deadlines
+	if left <= 0 {
+		t.Errorf("deadline already expired by %v at exec time", -left)
+	}
+	// The default MaxTimeout is 5m; the clamped deadline must not exceed it.
+	if left > 5*time.Minute {
+		t.Errorf("deadline %v exceeds the MaxTimeout cap", left)
+	}
+}
+
 func TestGatewayDeadline(t *testing.T) {
 	ts := testGateway(t, func(ctx context.Context, tenant, query string) (any, error) {
 		if _, ok := ctx.Deadline(); !ok {

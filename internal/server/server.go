@@ -393,6 +393,7 @@ func (s *Server) tenantLocked(name string) (*tenant, error) {
 // workload queues and the Result carries Cancelled.
 func (s *Server) Submit(ctx context.Context, tenantName string, job core.Job) (<-chan core.Result, error) {
 	if ctx == nil {
+		//lifevet:allow ctxflow -- nil-ctx compat fallback: there is no caller deadline to discard, and the root documents "run to completion"
 		ctx = context.Background()
 	}
 	tr := trace.FromContext(ctx)
